@@ -1,0 +1,208 @@
+// Benchmark harness: one benchmark per table/figure of the paper's
+// evaluation. Each iteration regenerates the artifact end-to-end on the
+// simulated testbed and reports the headline comparison as benchmark
+// metrics, so `go test -bench=. -benchmem` reproduces the whole evaluation.
+//
+// Scale: benchmarks default to the CI-sized quick scale; set
+// HERMES_BENCH_SCALE=full for the paper-sized workloads (1 GB
+// micro-benchmark runs, multi-hour co-location windows).
+package hermes_test
+
+import (
+	"os"
+	"testing"
+
+	hermes "github.com/hermes-sim/hermes"
+)
+
+func benchScale() hermes.Scale {
+	if os.Getenv("HERMES_BENCH_SCALE") == "full" {
+		return hermes.FullScale()
+	}
+	return hermes.QuickScale()
+}
+
+// BenchmarkFig2QueryBreakdown regenerates Figure 2: the insert share of
+// Rocksdb query latency (paper: 74.7% avg small, 93.5% avg large).
+func BenchmarkFig2QueryBreakdown(b *testing.B) {
+	scale := benchScale()
+	for i := 0; i < b.N; i++ {
+		r := hermes.Fig2(scale, 1)
+		b.ReportMetric(r.Small["avg"], "small-insert-%")
+		b.ReportMetric(r.Large["avg"], "large-insert-%")
+		if i == 0 {
+			b.Log("\n" + r.Render())
+		}
+	}
+}
+
+// BenchmarkFig3PressureCDF regenerates Figure 3: Glibc allocation latency
+// under idle/file/anon regimes (paper: anon +35.6% avg, file +10.8%).
+func BenchmarkFig3PressureCDF(b *testing.B) {
+	scale := benchScale()
+	for i := 0; i < b.N; i++ {
+		r := hermes.Fig3(scale, 1)
+		idle, anon, file := r.Idle.Summarize(), r.Anon.Summarize(), r.File.Summarize()
+		b.ReportMetric(pct(idle.Mean, anon.Mean), "anon-avg-inflation-%")
+		b.ReportMetric(pct(idle.Mean, file.Mean), "file-avg-inflation-%")
+		if i == 0 {
+			b.Log("\n" + r.Render())
+		}
+	}
+}
+
+// BenchmarkFig6GradualReservation regenerates the §3.2.1 ablation: gradual
+// vs at-once reservation lock holds.
+func BenchmarkFig6GradualReservation(b *testing.B) {
+	scale := benchScale()
+	for i := 0; i < b.N; i++ {
+		r := hermes.Fig6Ablation(scale, 1)
+		b.ReportMetric(float64(r.GradualMaxHold.Microseconds()), "gradual-hold-µs")
+		b.ReportMetric(float64(r.AtOnceMaxHold.Microseconds()), "atonce-hold-µs")
+		if i == 0 {
+			b.Log("\n" + r.Render())
+		}
+	}
+}
+
+// BenchmarkFig7Small regenerates Figure 7: small-request CDFs across the
+// four allocators and three regimes (paper: Hermes cuts Glibc's average by
+// 16.0/29.3/9.4% on dedicated/anon/file).
+func BenchmarkFig7Small(b *testing.B) {
+	scale := benchScale()
+	for i := 0; i < b.N; i++ {
+		r := hermes.Fig7(scale, 1)
+		b.ReportMetric(r.Reduction("dedicated", "avg"), "dedicated-avg-red-%")
+		b.ReportMetric(r.Reduction("anon", "avg"), "anon-avg-red-%")
+		b.ReportMetric(r.Reduction("file", "avg"), "file-avg-red-%")
+		if i == 0 {
+			b.Log("\n" + r.Render())
+		}
+	}
+}
+
+// BenchmarkFig8Large regenerates Figure 8: large-request CDFs (paper
+// reductions: 12.1/54.4/21.7% avg).
+func BenchmarkFig8Large(b *testing.B) {
+	scale := benchScale()
+	for i := 0; i < b.N; i++ {
+		r := hermes.Fig8(scale, 1)
+		b.ReportMetric(r.Reduction("dedicated", "avg"), "dedicated-avg-red-%")
+		b.ReportMetric(r.Reduction("anon", "avg"), "anon-avg-red-%")
+		b.ReportMetric(r.Reduction("file", "avg"), "file-avg-red-%")
+		if i == 0 {
+			b.Log("\n" + r.Render())
+		}
+	}
+}
+
+// BenchmarkFig9RedisLatency regenerates Figures 9, 11 and 13: Redis p90
+// latency, tail CDF and SLO violation across pressure levels.
+func BenchmarkFig9RedisLatency(b *testing.B) {
+	scale := benchScale()
+	for i := 0; i < b.N; i++ {
+		f := hermes.Fig9(scale, 1)
+		b.ReportMetric(f.Small.ViolationReduction(), "small-violation-red-%")
+		b.ReportMetric(f.Large.ViolationReduction(), "large-violation-red-%")
+		if i == 0 {
+			b.Log("\n" + f.RenderLatency("Figure 9") + "\n" +
+				f.RenderTail("Figure 11") + "\n" + f.RenderViolation("Figure 13"))
+		}
+	}
+}
+
+// BenchmarkFig10RocksdbLatency regenerates Figures 10, 12 and 14 (paper:
+// Hermes cuts Rocksdb SLO violation by up to 84.3%).
+func BenchmarkFig10RocksdbLatency(b *testing.B) {
+	scale := benchScale()
+	for i := 0; i < b.N; i++ {
+		f := hermes.Fig10(scale, 1)
+		b.ReportMetric(f.Small.ViolationReduction(), "small-violation-red-%")
+		b.ReportMetric(f.Large.ViolationReduction(), "large-violation-red-%")
+		if i == 0 {
+			b.Log("\n" + f.RenderLatency("Figure 10") + "\n" +
+				f.RenderTail("Figure 12") + "\n" + f.RenderViolation("Figure 14"))
+		}
+	}
+}
+
+// BenchmarkFig15SensitivitySmall regenerates Figure 15: RSV_FACTOR 0.5–3.0
+// for small requests.
+func BenchmarkFig15SensitivitySmall(b *testing.B) {
+	scale := benchScale()
+	for i := 0; i < b.N; i++ {
+		r := hermes.Fig15(scale, 1)
+		b.ReportMetric(r.Reduction("anon", 3, "avg"), "factor2-anon-avg-red-%")
+		if i == 0 {
+			b.Log("\n" + r.Render())
+		}
+	}
+}
+
+// BenchmarkFig16SensitivityLarge regenerates Figure 16: RSV_FACTOR 0.5–3.0
+// for large requests.
+func BenchmarkFig16SensitivityLarge(b *testing.B) {
+	scale := benchScale()
+	for i := 0; i < b.N; i++ {
+		r := hermes.Fig16(scale, 1)
+		b.ReportMetric(r.Reduction("anon", 3, "avg"), "factor2-anon-avg-red-%")
+		if i == 0 {
+			b.Log("\n" + r.Render())
+		}
+	}
+}
+
+// BenchmarkTable1Throughput regenerates Table 1: batch-job throughput under
+// Default/Hermes/Killing/Dedicated (paper: Redis 212/194/123/0).
+func BenchmarkTable1Throughput(b *testing.B) {
+	scale := benchScale()
+	for i := 0; i < b.N; i++ {
+		r := hermes.Table1(scale, 1)
+		b.ReportMetric(float64(r.Jobs["Redis"]["Default"]), "redis-default-jobs")
+		b.ReportMetric(float64(r.Jobs["Redis"]["Hermes"]), "redis-hermes-jobs")
+		b.ReportMetric(float64(r.Jobs["Redis"]["Killing"]), "redis-killing-jobs")
+		if i == 0 {
+			b.Log("\n" + r.Render())
+		}
+	}
+}
+
+// BenchmarkOverhead regenerates the §5.5 overhead accounting (paper: mgmt
+// ~0.4% CPU paced, 6–6.4 MB reserved).
+func BenchmarkOverhead(b *testing.B) {
+	scale := benchScale()
+	for i := 0; i < b.N; i++ {
+		r := hermes.Overhead(scale, 1)
+		b.ReportMetric(r.MgmtCPUPaced*100, "mgmt-cpu-paced-%")
+		b.ReportMetric(float64(r.ReservedSmall)/(1<<20), "reserved-small-MB")
+		if i == 0 {
+			b.Log("\n" + r.Render())
+		}
+	}
+}
+
+// BenchmarkMlockAblation regenerates the §4 mlock-vs-touch comparison
+// (paper: mlock ≥40% faster).
+func BenchmarkMlockAblation(b *testing.B) {
+	scale := benchScale()
+	for i := 0; i < b.N; i++ {
+		r := hermes.MlockAblation(scale, 1)
+		speedup := 0.0
+		if r.MgmtBusyTouch > 0 {
+			speedup = (1 - float64(r.MgmtBusyMlock)/float64(r.MgmtBusyTouch)) * 100
+		}
+		b.ReportMetric(speedup, "mlock-speedup-%")
+		if i == 0 {
+			b.Log("\n" + r.Render())
+		}
+	}
+}
+
+// pct returns the percentage inflation of v over base.
+func pct(base, v interface{ Nanoseconds() int64 }) float64 {
+	bn := base.Nanoseconds()
+	if bn == 0 {
+		return 0
+	}
+	return (float64(v.Nanoseconds())/float64(bn) - 1) * 100
+}

@@ -1,0 +1,98 @@
+// hermes-bench regenerates the paper's tables and figures. Each experiment
+// prints the rows/series the paper reports (see DESIGN.md §3 for the
+// index and EXPERIMENTS.md for paper-vs-measured).
+//
+// Usage:
+//
+//	hermes-bench [-scale quick|full] [-seed N] [-run fig3,fig7,...]
+//
+// With no -run flag every experiment runs in paper order.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	hermes "github.com/hermes-sim/hermes"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "hermes-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	scaleFlag := flag.String("scale", "quick", "workload scale: quick or full (paper-sized)")
+	seed := flag.Uint64("seed", 1, "determinism seed")
+	runFlag := flag.String("run", "", "comma-separated experiments (default: all): fig2,fig3,fig6,fig7,fig8,fig9,fig10,fig15,fig16,table1,overhead,mlock")
+	flag.Parse()
+
+	var scale hermes.Scale
+	switch *scaleFlag {
+	case "quick":
+		scale = hermes.QuickScale()
+	case "full":
+		scale = hermes.FullScale()
+	default:
+		return fmt.Errorf("unknown scale %q", *scaleFlag)
+	}
+
+	type experiment struct {
+		name string
+		run  func() string
+	}
+	all := []experiment{
+		{"fig2", func() string { return hermes.Fig2(scale, *seed).Render() }},
+		{"fig3", func() string { return hermes.Fig3(scale, *seed).Render() }},
+		{"fig6", func() string { return hermes.Fig6Ablation(scale, *seed).Render() }},
+		{"fig7", func() string { return hermes.Fig7(scale, *seed).Render() }},
+		{"fig8", func() string { return hermes.Fig8(scale, *seed).Render() }},
+		{"fig9", func() string {
+			f := hermes.Fig9(scale, *seed)
+			return f.RenderLatency("Figure 9") + "\n" + f.RenderTail("Figure 11") + "\n" + f.RenderViolation("Figure 13")
+		}},
+		{"fig10", func() string {
+			f := hermes.Fig10(scale, *seed)
+			return f.RenderLatency("Figure 10") + "\n" + f.RenderTail("Figure 12") + "\n" + f.RenderViolation("Figure 14")
+		}},
+		{"fig15", func() string { return hermes.Fig15(scale, *seed).Render() }},
+		{"fig16", func() string { return hermes.Fig16(scale, *seed).Render() }},
+		{"table1", func() string { return hermes.Table1(scale, *seed).Render() }},
+		{"overhead", func() string { return hermes.Overhead(scale, *seed).Render() }},
+		{"mlock", func() string { return hermes.MlockAblation(scale, *seed).Render() }},
+	}
+
+	selected := map[string]bool{}
+	if *runFlag != "" {
+		for _, name := range strings.Split(*runFlag, ",") {
+			selected[strings.TrimSpace(name)] = true
+		}
+		for name := range selected {
+			found := false
+			for _, e := range all {
+				if e.name == name {
+					found = true
+				}
+			}
+			if !found {
+				return fmt.Errorf("unknown experiment %q", name)
+			}
+		}
+	}
+
+	fmt.Printf("hermes-bench scale=%s seed=%d\n\n", scale.Name, *seed)
+	for _, e := range all {
+		if len(selected) > 0 && !selected[e.name] {
+			continue
+		}
+		start := time.Now()
+		out := e.run()
+		fmt.Printf("=== %s (wall %v) ===\n%s\n", e.name, time.Since(start).Round(time.Millisecond), out)
+	}
+	return nil
+}

@@ -1,0 +1,112 @@
+// hermes-sim runs one ad-hoc micro-benchmark cell: pick a node size, an
+// allocator, a pressure regime and a request size, get the latency digest.
+//
+// Usage:
+//
+//	hermes-sim -alloc hermes -pressure anon -request 1024 -total 64MB
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	hermes "github.com/hermes-sim/hermes"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "hermes-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	allocFlag := flag.String("alloc", "hermes", "allocator: hermes, glibc, jemalloc, tcmalloc")
+	pressureFlag := flag.String("pressure", "none", "pressure regime: none, anon, file")
+	request := flag.Int64("request", 1024, "request size in bytes")
+	totalFlag := flag.String("total", "64MB", "total bytes to allocate (e.g. 64MB, 1GB)")
+	memFlag := flag.String("mem", "128GB", "node DRAM size")
+	seed := flag.Uint64("seed", 1, "determinism seed")
+	flag.Parse()
+
+	total, err := parseSize(*totalFlag)
+	if err != nil {
+		return err
+	}
+	mem, err := parseSize(*memFlag)
+	if err != nil {
+		return err
+	}
+
+	cfg := hermes.DefaultNodeConfig()
+	cfg.Kernel.TotalMemory = mem
+	cfg.Kernel.Seed = *seed
+	node := hermes.NewNode(cfg)
+
+	var pressure *hermes.Pressure
+	switch *pressureFlag {
+	case "none":
+	case "anon":
+		pressure = node.StartPressure(hermes.DefaultPressureConfig(hermes.PressureAnon))
+	case "file":
+		pressure = node.StartPressure(hermes.DefaultPressureConfig(hermes.PressureFile))
+	default:
+		return fmt.Errorf("unknown pressure %q", *pressureFlag)
+	}
+
+	var a hermes.Allocator
+	switch strings.ToLower(*allocFlag) {
+	case "hermes":
+		a = node.NewHermesAllocator("sim")
+	case "glibc":
+		a = node.NewGlibcAllocator("sim")
+	case "jemalloc":
+		a = node.NewJemallocAllocator("sim")
+	case "tcmalloc":
+		a = node.NewTCMallocAllocator("sim")
+	default:
+		return fmt.Errorf("unknown allocator %q", *allocFlag)
+	}
+	defer a.Close()
+
+	node.Advance(20 * time.Millisecond)
+	rec := hermes.NewRecorder(*allocFlag)
+	node.RunMicroBench(a, *request, total, rec)
+	if pressure != nil {
+		pressure.Stop()
+	}
+
+	fmt.Println(rec.Summarize())
+	st := a.Stats()
+	fmt.Printf("allocator: %d mallocs, %.1f MB requested, heap %.1f MB, mmapped %.1f MB, reserved %.1f MB\n",
+		st.Mallocs, mb(st.BytesRequested), mb(st.HeapBytes), mb(st.MmapBytes), mb(st.ReservedBytes))
+	ks := node.Kernel().Stats()
+	fmt.Printf("kernel: %d minor faults, %d major, %d direct reclaims, %d pages swapped out\n",
+		ks.MinorFaults, ks.MajorFaults, ks.DirectReclaims, ks.PagesSwapOut)
+	return nil
+}
+
+func mb(v int64) float64 { return float64(v) / (1 << 20) }
+
+// parseSize parses "64MB", "1GB", "4096".
+func parseSize(s string) (int64, error) {
+	u := strings.ToUpper(strings.TrimSpace(s))
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(u, "GB"):
+		mult, u = 1<<30, strings.TrimSuffix(u, "GB")
+	case strings.HasSuffix(u, "MB"):
+		mult, u = 1<<20, strings.TrimSuffix(u, "MB")
+	case strings.HasSuffix(u, "KB"):
+		mult, u = 1<<10, strings.TrimSuffix(u, "KB")
+	}
+	n, err := strconv.ParseInt(strings.TrimSpace(u), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad size %q: %w", s, err)
+	}
+	return n * mult, nil
+}

@@ -1,0 +1,53 @@
+// Microbench: the §5.2 shoot-out — all four allocators under anonymous-page
+// pressure, printing the latency CDF table (the Figure 7(b) comparison).
+package main
+
+import (
+	"fmt"
+	"time"
+
+	hermes "github.com/hermes-sim/hermes"
+)
+
+func main() {
+	const reqSize, totalBytes = 1024, 64 << 20
+	names := []string{"Hermes", "Glibc", "jemalloc", "TCMalloc"}
+	results := make(map[string]*hermes.Recorder)
+
+	for _, name := range names {
+		node := hermes.NewNode(hermes.DefaultNodeConfig())
+
+		// Anonymous-page pressure: a co-tenant burns memory down to a thin
+		// free buffer and holds it.
+		pcfg := hermes.DefaultPressureConfig(hermes.PressureAnon)
+		pcfg.FreeBytes = 64 << 20
+		pressure := node.StartPressure(pcfg)
+
+		var a hermes.Allocator
+		switch name {
+		case "Hermes":
+			a = node.NewHermesAllocator("bench")
+		case "Glibc":
+			a = node.NewGlibcAllocator("bench")
+		case "jemalloc":
+			a = node.NewJemallocAllocator("bench")
+		case "TCMalloc":
+			a = node.NewTCMallocAllocator("bench")
+		}
+		node.Advance(20 * time.Millisecond)
+
+		rec := hermes.NewRecorder(name)
+		node.RunMicroBench(a, reqSize, totalBytes, rec)
+		results[name] = rec
+		pressure.Stop()
+		a.Close()
+	}
+
+	fmt.Println("1KB allocation latency under anonymous-page pressure:")
+	fmt.Printf("%-10s %-10s %-10s %-10s %-10s %-10s\n", "", "avg", "p50", "p90", "p99", "max")
+	for _, name := range names {
+		s := results[name].Summarize()
+		fmt.Printf("%-10s %-10v %-10v %-10v %-10v %-10v\n",
+			name, s.Mean, s.P50, s.P90, s.P99, s.Max)
+	}
+}

@@ -1,0 +1,46 @@
+package hermes
+
+import "github.com/hermes-sim/hermes/internal/experiments"
+
+// Experiment entry points: each regenerates one table or figure of the
+// paper's evaluation and returns a result with a Render method printing the
+// rows/series the paper reports. The experiment index is DESIGN.md §3; the
+// paper-vs-measured record is EXPERIMENTS.md.
+
+// Scale selects experiment fidelity.
+type Scale = experiments.Scale
+
+// FullScale runs the paper-sized workloads; QuickScale the CI-sized ones.
+var (
+	FullScale  = experiments.FullScale
+	QuickScale = experiments.QuickScale
+)
+
+// The per-artifact runners. Each takes the workload scale and the
+// determinism seed.
+var (
+	// Fig2 — Rocksdb insert/read latency breakdown (§2.2).
+	Fig2 = experiments.Fig2
+	// Fig3 — allocation-latency CDFs under idle/file/anon pressure (§2.2).
+	Fig3 = experiments.Fig3
+	// Fig7 — small-request CDFs for 4 allocators × 3 regimes (§5.2).
+	Fig7 = experiments.Fig7
+	// Fig8 — large-request CDFs (§5.2).
+	Fig8 = experiments.Fig8
+	// Fig9 — Redis p90 latency vs pressure level (also Figs 11, 13 data).
+	Fig9 = experiments.Fig9
+	// Fig10 — Rocksdb p90 latency vs pressure level (also Figs 12, 14).
+	Fig10 = experiments.Fig10
+	// Table1 — batch-job throughput under co-location policies (§5.3.2).
+	Table1 = experiments.Table1
+	// Fig15 — RSV_FACTOR sensitivity, small requests (§5.4).
+	Fig15 = experiments.Fig15
+	// Fig16 — RSV_FACTOR sensitivity, large requests (§5.4).
+	Fig16 = experiments.Fig16
+	// Overhead — the §5.5 overhead accounting.
+	Overhead = experiments.Overhead
+	// Fig6Ablation — gradual vs at-once reservation (§3.2.1).
+	Fig6Ablation = experiments.Fig6Ablation
+	// MlockAblation — mlock vs touch-loop mapping construction (§4).
+	MlockAblation = experiments.MlockAblation
+)

@@ -1,0 +1,203 @@
+// Package hermes is the public API of the Hermes reproduction: a
+// deterministic discrete-event simulation of the GNU/Linux memory stack
+// (Glibc's ptmalloc, the kernel's page-reclaim machinery, an HDD) together
+// with Hermes — the library-level fast memory allocation mechanism for
+// latency-critical services from "Memory at Your Service" (Middleware'21) —
+// plus the baseline allocators, services, and workloads of the paper's
+// evaluation.
+//
+// The quickest way in:
+//
+//	node := hermes.NewNode(hermes.DefaultNodeConfig())
+//	a := node.NewHermesAllocator("my-service")
+//	b, cost := a.Malloc(node.Now(), 1024)
+//	cost += a.Touch(node.Now().Add(cost), b)
+//	node.Advance(cost)
+//
+// Every figure and table of the paper regenerates through the Experiments
+// entry points (Fig2 … Fig16, Table1); see EXPERIMENTS.md for the
+// paper-vs-measured record.
+package hermes
+
+import (
+	"github.com/hermes-sim/hermes/internal/alloc"
+	"github.com/hermes-sim/hermes/internal/alloc/glibcmalloc"
+	"github.com/hermes-sim/hermes/internal/alloc/jemalloc"
+	"github.com/hermes-sim/hermes/internal/alloc/tcmalloc"
+	"github.com/hermes-sim/hermes/internal/core"
+	"github.com/hermes-sim/hermes/internal/kernel"
+	"github.com/hermes-sim/hermes/internal/monitor"
+	"github.com/hermes-sim/hermes/internal/services"
+	"github.com/hermes-sim/hermes/internal/simtime"
+	"github.com/hermes-sim/hermes/internal/stats"
+	"github.com/hermes-sim/hermes/internal/workload"
+)
+
+// Core simulation types, re-exported for use through the public API.
+type (
+	// Time is an instant of virtual time (ns since simulation start).
+	Time = simtime.Time
+	// Duration is a span of virtual time.
+	Duration = simtime.Duration
+
+	// Allocator is the malloc-library abstraction: Glibc, jemalloc,
+	// TCMalloc and Hermes all implement it.
+	Allocator = alloc.Allocator
+	// Block is an allocated range.
+	Block = alloc.Block
+
+	// HermesAllocator is the paper's contribution with its management
+	// thread and segregated pool.
+	HermesAllocator = core.Hermes
+	// HermesConfig tunes Hermes (reservation factor, interval, min_rsv).
+	HermesConfig = core.Config
+
+	// Registry is the daemon's shared-memory process registry.
+	Registry = monitor.Registry
+	// Daemon is the memory monitor daemon (proactive reclamation).
+	Daemon = monitor.Daemon
+	// DaemonConfig tunes the daemon.
+	DaemonConfig = monitor.Config
+
+	// Service is the latency-critical-service abstraction (Redis-like and
+	// RocksDB-like stores).
+	Service = services.Service
+
+	// Pressure is a running memory-pressure generator.
+	Pressure = workload.Pressure
+	// PressureConfig tunes a generator.
+	PressureConfig = workload.PressureConfig
+
+	// Recorder accumulates latency samples; Summary is its percentile
+	// digest.
+	Recorder = stats.Recorder
+	// Summary is the avg/p75/p90/p95/p99 digest of a Recorder.
+	Summary = stats.Summary
+
+	// KernelConfig configures the simulated node's memory subsystem.
+	KernelConfig = kernel.Config
+	// CostModel is the virtual-time cost table.
+	CostModel = kernel.CostModel
+)
+
+// Pressure kinds (Figure 3's two regimes).
+const (
+	PressureAnon = workload.PressureAnon
+	PressureFile = workload.PressureFile
+)
+
+// DefaultHermesConfig returns the paper's Hermes settings (§4): 2 ms
+// interval, RSV_FACTOR 2, 5 MB min_rsv, 8-bucket segregated list.
+func DefaultHermesConfig() HermesConfig { return core.DefaultConfig() }
+
+// DefaultDaemonConfig returns the monitor daemon's evaluation settings.
+func DefaultDaemonConfig() DaemonConfig { return monitor.DefaultConfig() }
+
+// DefaultPressureConfig returns a Figure 3 pressure generator config.
+func DefaultPressureConfig(kind workload.PressureKind) PressureConfig {
+	return workload.DefaultPressureConfig(kind)
+}
+
+// NodeConfig describes a simulated node.
+type NodeConfig struct {
+	// Kernel is the memory-subsystem configuration; DefaultNodeConfig
+	// uses the paper's 128 GB / HDD testbed.
+	Kernel KernelConfig
+}
+
+// DefaultNodeConfig returns the paper-testbed node.
+func DefaultNodeConfig() NodeConfig {
+	return NodeConfig{Kernel: kernel.DefaultConfig()}
+}
+
+// Node is one simulated machine: a kernel plus its virtual clock. All
+// allocators, services, daemons and workloads on a node share them.
+type Node struct {
+	sched  *simtime.Scheduler
+	kernel *kernel.Kernel
+}
+
+// NewNode boots a node.
+func NewNode(cfg NodeConfig) *Node {
+	s := simtime.NewScheduler()
+	return &Node{sched: s, kernel: kernel.New(s, cfg.Kernel)}
+}
+
+// Kernel exposes the simulated memory subsystem.
+func (n *Node) Kernel() *kernel.Kernel { return n.kernel }
+
+// Scheduler exposes the virtual clock.
+func (n *Node) Scheduler() *simtime.Scheduler { return n.sched }
+
+// Now returns the current virtual time.
+func (n *Node) Now() Time { return n.sched.Now() }
+
+// Advance moves virtual time forward, running background machinery
+// (management threads, kswapd, daemons) that falls inside the window.
+func (n *Node) Advance(d Duration) { n.sched.Advance(d) }
+
+// NewGlibcAllocator creates a process using the default Glibc model.
+func (n *Node) NewGlibcAllocator(name string) Allocator {
+	return glibcmalloc.New(n.kernel, name, glibcmalloc.DefaultConfig())
+}
+
+// NewJemallocAllocator creates a process using the jemalloc model.
+func (n *Node) NewJemallocAllocator(name string) Allocator {
+	return jemalloc.New(n.kernel, name, jemalloc.DefaultConfig())
+}
+
+// NewTCMallocAllocator creates a process using the TCMalloc model.
+func (n *Node) NewTCMallocAllocator(name string) Allocator {
+	return tcmalloc.New(n.kernel, name, tcmalloc.DefaultConfig())
+}
+
+// NewHermesAllocator creates a latency-critical process using Hermes with
+// the paper's default configuration; its management thread starts
+// immediately.
+func (n *Node) NewHermesAllocator(name string) *HermesAllocator {
+	return core.New(n.kernel, name, core.DefaultConfig())
+}
+
+// NewHermesAllocatorWith creates a Hermes process with a custom
+// configuration, registered (or not) in the given registry — the paper's
+// lazy-initialisation handshake.
+func (n *Node) NewHermesAllocatorWith(name string, cfg HermesConfig, reg *Registry, latencyCritical bool) *HermesAllocator {
+	return core.NewWithRegistry(n.kernel, name, cfg, reg, latencyCritical)
+}
+
+// NewRegistry creates a shared-memory process registry.
+func (n *Node) NewRegistry() *Registry { return monitor.NewRegistry() }
+
+// StartDaemon launches the memory monitor daemon.
+func (n *Node) StartDaemon(reg *Registry, cfg DaemonConfig) *Daemon {
+	return monitor.NewDaemon(n.kernel, reg, cfg)
+}
+
+// StartPressure launches a Figure 3 pressure generator.
+func (n *Node) StartPressure(cfg PressureConfig) *Pressure {
+	return workload.StartPressure(n.kernel, cfg)
+}
+
+// NewRedis creates the in-memory KV service on the given allocator.
+func (n *Node) NewRedis(a Allocator) Service {
+	return services.NewRedis(n.kernel, a, services.RedisCosts())
+}
+
+// NewRocksdb creates the LSM disk-store service on the given allocator.
+// name namespaces its WAL/SST files on the node.
+func (n *Node) NewRocksdb(a Allocator, name string) Service {
+	return services.NewRocksdb(n.kernel, a, services.RocksdbCosts(),
+		services.DefaultRocksdbConfig(), name)
+}
+
+// RunMicroBench drives the paper's micro-benchmark (§5.2) on the allocator,
+// recording per-request allocation latency into rec.
+func (n *Node) RunMicroBench(a Allocator, requestSize, totalBytes int64, rec *Recorder) {
+	workload.RunMicroBench(n.kernel, a, workload.MicroBenchConfig{
+		RequestSize: requestSize,
+		TotalBytes:  totalBytes,
+	}, rec)
+}
+
+// NewRecorder creates a latency recorder labelled name.
+func NewRecorder(name string) *Recorder { return stats.NewRecorder(name) }

@@ -1,0 +1,317 @@
+package glibcmalloc
+
+import (
+	"testing"
+
+	"github.com/hermes-sim/hermes/internal/alloc"
+	"github.com/hermes-sim/hermes/internal/kernel"
+	"github.com/hermes-sim/hermes/internal/simtime"
+)
+
+func newTestAlloc(t *testing.T) (*Allocator, *kernel.Kernel, *simtime.Scheduler) {
+	t.Helper()
+	s := simtime.NewScheduler()
+	cfg := kernel.DefaultConfig()
+	cfg.TotalMemory = 1 << 30 // 1 GiB keeps tests fast
+	cfg.SwapBytes = 256 << 20
+	k := kernel.New(s, cfg)
+	a := New(k, "test", DefaultConfig())
+	return a, k, s
+}
+
+func TestSmallMallocCarvesFromTop(t *testing.T) {
+	a, k, s := newTestAlloc(t)
+	b, cost := a.Malloc(s.Now(), 1024)
+	if cost <= 0 {
+		t.Fatal("malloc must cost time")
+	}
+	if b.Kind != alloc.BlockHeap {
+		t.Fatal("1KB must take the heap path")
+	}
+	// First malloc grows the heap by request+TopPad.
+	if a.BreakBytes() == 0 {
+		t.Fatal("break did not move")
+	}
+	if got := a.TopBytes(); got <= 0 {
+		t.Fatalf("top chunk = %d, want > 0 (TopPad slack)", got)
+	}
+	// Nothing mapped until touch.
+	if a.HeapRegion().Mapped() != 0 {
+		t.Fatal("pages mapped before first touch")
+	}
+	tc := a.Touch(s.Now(), b)
+	if tc <= 0 || a.HeapRegion().Mapped() == 0 {
+		t.Fatal("touch must fault pages in")
+	}
+	k.CheckInvariants()
+}
+
+func TestLargeMallocUsesMmap(t *testing.T) {
+	a, k, s := newTestAlloc(t)
+	b, _ := a.Malloc(s.Now(), 256<<10)
+	if b.Kind != alloc.BlockMmap {
+		t.Fatal("256KB must take the mmap path")
+	}
+	if b.Region == a.HeapRegion() {
+		t.Fatal("mmap block must not use the heap region")
+	}
+	if got := b.Region.Pages(); got != (256<<10)/4096+1 { // +header page round-up
+		// chunk = 256KB+16 rounded to pages = 65 pages
+		t.Fatalf("region pages = %d", got)
+	}
+	a.Touch(s.Now(), b)
+	if b.Region.Mapped() != b.Region.Pages() {
+		t.Fatal("touch must map the whole mmapped block")
+	}
+	cost := a.Free(s.Now(), b)
+	if cost <= 0 {
+		t.Fatal("free must cost time")
+	}
+	if a.Process().VMACount() != 0 {
+		t.Fatal("glibc must munmap large blocks immediately")
+	}
+	k.CheckInvariants()
+}
+
+func TestMmapThresholdBoundary(t *testing.T) {
+	a, _, s := newTestAlloc(t)
+	small, _ := a.Malloc(s.Now(), alloc.MmapThreshold-64)
+	if small.Kind != alloc.BlockHeap {
+		t.Fatal("just-below-threshold must use heap")
+	}
+	big, _ := a.Malloc(s.Now(), alloc.MmapThreshold)
+	if big.Kind != alloc.BlockMmap {
+		t.Fatal("at-threshold must use mmap")
+	}
+}
+
+func TestExactFitBinReuse(t *testing.T) {
+	a, _, s := newTestAlloc(t)
+	b1, _ := a.Malloc(s.Now(), 4096)
+	filler, _ := a.Malloc(s.Now(), 512) // prevents b1 from merging into top
+	a.Touch(s.Now(), b1)
+	a.Touch(s.Now(), filler)
+	meta1 := b1.Meta.(heapMeta)
+	a.Free(s.Now(), b1)
+	if a.BinnedBytes() == 0 {
+		t.Fatal("freed chunk must land in bins")
+	}
+	b2, _ := a.Malloc(s.Now(), 4096)
+	meta2 := b2.Meta.(heapMeta)
+	if meta2.start != meta1.start {
+		t.Fatalf("exact-fit must reuse the freed chunk: got start %d, want %d", meta2.start, meta1.start)
+	}
+	// Reused memory is already mapped: touch must not fault.
+	faults0 := a.Kernel().Stats().MinorFaults
+	a.Touch(s.Now(), b2)
+	if got := a.Kernel().Stats().MinorFaults; got != faults0 {
+		t.Fatalf("touch of reused chunk faulted %d pages", got-faults0)
+	}
+}
+
+func TestBestFitSplitsRemainder(t *testing.T) {
+	a, _, s := newTestAlloc(t)
+	b1, _ := a.Malloc(s.Now(), 8192)
+	filler, _ := a.Malloc(s.Now(), 512)
+	_ = filler
+	a.Free(s.Now(), b1)
+	binned0 := a.BinnedBytes()
+
+	b2, _ := a.Malloc(s.Now(), 1024)
+	meta := b2.Meta.(heapMeta)
+	m1 := b1.Meta.(heapMeta)
+	if meta.start != m1.start {
+		t.Fatalf("best-fit must take the freed 8KB chunk head: start=%d want %d", meta.start, m1.start)
+	}
+	// Remainder goes back to the bins.
+	if a.BinnedBytes() >= binned0 || a.BinnedBytes() == 0 {
+		t.Fatalf("remainder not re-binned: before=%d after=%d", binned0, a.BinnedBytes())
+	}
+}
+
+func TestFreeMergesIntoTopAndCascades(t *testing.T) {
+	a, _, s := newTestAlloc(t)
+	b1, _ := a.Malloc(s.Now(), 1024)
+	b2, _ := a.Malloc(s.Now(), 2048)
+	b3, _ := a.Malloc(s.Now(), 4096)
+	used := a.UsedEnd()
+	if used == 0 {
+		t.Fatal("allocations did not advance usedEnd")
+	}
+	// Free middle chunk first: it is binned.
+	a.Free(s.Now(), b2)
+	if a.BinnedBytes() == 0 {
+		t.Fatal("middle free must bin")
+	}
+	// Free the top-adjacent chunk: merges, then cascades through b2's bin.
+	a.Free(s.Now(), b3)
+	m1 := b1.Meta.(heapMeta)
+	if a.UsedEnd() != m1.start+m1.size {
+		t.Fatalf("cascade merge failed: usedEnd=%d, want %d", a.UsedEnd(), m1.start+m1.size)
+	}
+	if a.BinnedBytes() != 0 {
+		t.Fatalf("bins should be empty after cascade, have %d bytes", a.BinnedBytes())
+	}
+}
+
+func TestTrimShrinksBreak(t *testing.T) {
+	a, k, s := newTestAlloc(t)
+	// Allocate well past the trim threshold, then free it all.
+	var blocks []*Block
+	for i := 0; i < 64; i++ {
+		b, _ := a.Malloc(s.Now(), 16<<10)
+		a.Touch(s.Now(), b)
+		blocks = append(blocks, b)
+	}
+	grown := a.BreakBytes()
+	for i := len(blocks) - 1; i >= 0; i-- {
+		a.Free(s.Now(), blocks[i])
+	}
+	if a.BreakBytes() >= grown {
+		t.Fatalf("break %d not trimmed from %d", a.BreakBytes(), grown)
+	}
+	if a.TopBytes() > a.cfg.TrimThreshold+a.cfg.TopPad {
+		t.Fatalf("top chunk %d still exceeds trim threshold", a.TopBytes())
+	}
+	k.CheckInvariants()
+}
+
+func TestTrimDisabled(t *testing.T) {
+	a, _, s := newTestAlloc(t)
+	a.SetTrimThreshold(0) // 0 disables trimming in the model
+	var blocks []*Block
+	for i := 0; i < 64; i++ {
+		b, _ := a.Malloc(s.Now(), 16<<10)
+		blocks = append(blocks, b)
+	}
+	grown := a.BreakBytes()
+	for i := len(blocks) - 1; i >= 0; i-- {
+		a.Free(s.Now(), blocks[i])
+	}
+	if a.BreakBytes() != grown {
+		t.Fatal("trim ran despite being disabled")
+	}
+}
+
+func TestDoubleFreePanics(t *testing.T) {
+	a, _, s := newTestAlloc(t)
+	b, _ := a.Malloc(s.Now(), 1024)
+	a.Free(s.Now(), b)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double free must panic")
+		}
+	}()
+	a.Free(s.Now(), b)
+}
+
+func TestTouchAfterFreePanics(t *testing.T) {
+	a, _, s := newTestAlloc(t)
+	b, _ := a.Malloc(s.Now(), 1024)
+	a.Free(s.Now(), b)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("touch after free must panic")
+		}
+	}()
+	a.Touch(s.Now(), b)
+}
+
+func TestHeapGrowthIsOnDemandAndPadded(t *testing.T) {
+	a, _, s := newTestAlloc(t)
+	b1, _ := a.Malloc(s.Now(), 1024)
+	_ = b1
+	break1 := a.BreakBytes()
+	// Subsequent small allocations fit in the padded top chunk: the break
+	// must not move for a while.
+	for i := 0; i < 32; i++ {
+		a.Malloc(s.Now(), 1024)
+	}
+	if a.BreakBytes() != break1 {
+		t.Fatal("break moved although top chunk had padded space")
+	}
+	// Eventually the pad runs out and sbrk happens again.
+	for i := 0; i < 256; i++ {
+		a.Malloc(s.Now(), 1024)
+	}
+	if a.BreakBytes() == break1 {
+		t.Fatal("break never grew under sustained allocation")
+	}
+}
+
+func TestBreakLockContentionDelaysMalloc(t *testing.T) {
+	a, _, s := newTestAlloc(t)
+	// Simulate a management thread holding the break lock for 1ms.
+	now := s.Now()
+	a.BreakLock().AcquireAt(now)
+	a.BreakLock().HoldUntil(now.Add(simtime.Millisecond))
+	// Exhaust the top chunk so malloc needs the lock.
+	_, first := a.Malloc(now, 1024) // grows heap: waits for the lock
+	if first < simtime.Millisecond {
+		t.Fatalf("malloc cost %v, want ≥ 1ms lock wait", first)
+	}
+}
+
+func TestStatsTracking(t *testing.T) {
+	a, _, s := newTestAlloc(t)
+	b1, _ := a.Malloc(s.Now(), 1024)
+	b2, _ := a.Malloc(s.Now(), 300<<10)
+	st := a.Stats()
+	if st.Mallocs != 2 || st.BytesRequested != 1024+300<<10 {
+		t.Fatalf("stats after mallocs: %+v", st)
+	}
+	if st.MmapBytes == 0 || st.HeapBytes == 0 {
+		t.Fatalf("sizes not tracked: %+v", st)
+	}
+	a.Free(s.Now(), b1)
+	a.Free(s.Now(), b2)
+	st = a.Stats()
+	if st.Frees != 2 || st.MmapBytes != 0 {
+		t.Fatalf("stats after frees: %+v", st)
+	}
+}
+
+func TestMallocZeroPanics(t *testing.T) {
+	a, _, s := newTestAlloc(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("malloc(0) must panic in the model")
+		}
+	}()
+	a.Malloc(s.Now(), 0)
+}
+
+// TestChurnKeepsKernelConsistent runs a malloc/touch/free churn and checks
+// kernel invariants throughout.
+func TestChurnKeepsKernelConsistent(t *testing.T) {
+	a, k, s := newTestAlloc(t)
+	rng := k.RNG()
+	live := make([]*Block, 0, 256)
+	for i := 0; i < 4000; i++ {
+		switch {
+		case len(live) > 0 && rng.IntN(3) == 0:
+			idx := rng.IntN(len(live))
+			a.Free(s.Now(), live[idx])
+			live[idx] = live[len(live)-1]
+			live = live[:len(live)-1]
+		default:
+			var size int64
+			if rng.IntN(10) == 0 {
+				size = 128<<10 + rng.Int64N(512<<10)
+			} else {
+				size = 16 + rng.Int64N(32<<10)
+			}
+			b, _ := a.Malloc(s.Now(), size)
+			a.Touch(s.Now(), b)
+			live = append(live, b)
+		}
+		if i%256 == 0 {
+			k.CheckInvariants()
+			s.Advance(simtime.Millisecond)
+		}
+	}
+	for _, b := range live {
+		a.Free(s.Now(), b)
+	}
+	k.CheckInvariants()
+}

@@ -1,0 +1,84 @@
+package glibcmalloc
+
+import (
+	"math/rand/v2"
+	"sort"
+	"testing"
+
+	"github.com/hermes-sim/hermes/internal/alloc"
+	"github.com/hermes-sim/hermes/internal/kernel"
+	"github.com/hermes-sim/hermes/internal/simtime"
+)
+
+// TestLiveHeapBlocksNeverOverlap churns the allocator and, after every
+// step, asserts the fundamental allocator safety property: the byte ranges
+// of live heap blocks are pairwise disjoint and all lie below the break.
+func TestLiveHeapBlocksNeverOverlap(t *testing.T) {
+	for _, seed := range []uint64{1, 7, 99} {
+		seed := seed
+		t.Run("", func(t *testing.T) {
+			runOverlapChurn(t, seed)
+		})
+	}
+}
+
+func runOverlapChurn(t *testing.T, seed uint64) {
+	t.Helper()
+	s := simtime.NewScheduler()
+	cfg := kernel.DefaultConfig()
+	cfg.TotalMemory = 1 << 30
+	cfg.Seed = seed
+	k := kernel.New(s, cfg)
+	a := New(k, "overlap", DefaultConfig())
+	rng := rand.New(rand.NewPCG(seed, seed^0xabcdef))
+
+	live := make(map[*alloc.Block]struct{})
+	for i := 0; i < 3000; i++ {
+		if len(live) > 0 && rng.IntN(5) < 2 {
+			for b := range live {
+				a.Free(s.Now(), b)
+				delete(live, b)
+				break
+			}
+		} else {
+			size := 16 + rng.Int64N(40<<10)
+			b, _ := a.Malloc(s.Now(), size)
+			if b.Kind == alloc.BlockHeap {
+				live[b] = struct{}{}
+			} else {
+				a.Free(s.Now(), b)
+			}
+		}
+		if i%64 == 0 {
+			assertDisjoint(t, a, live)
+		}
+	}
+	assertDisjoint(t, a, live)
+}
+
+type byteRange struct{ start, end int64 }
+
+func assertDisjoint(t *testing.T, a *Allocator, live map[*alloc.Block]struct{}) {
+	t.Helper()
+	ranges := make([]byteRange, 0, len(live))
+	for b := range live {
+		meta, ok := b.Meta.(heapMeta)
+		if !ok {
+			t.Fatal("heap block without heap metadata")
+		}
+		if meta.start < 0 || meta.start+meta.size > a.BreakBytes() {
+			t.Fatalf("block [%d,%d) outside heap [0,%d)", meta.start, meta.start+meta.size, a.BreakBytes())
+		}
+		if meta.start+meta.size > a.UsedEnd() {
+			t.Fatalf("block [%d,%d) beyond allocated area end %d", meta.start, meta.start+meta.size, a.UsedEnd())
+		}
+		ranges = append(ranges, byteRange{meta.start, meta.start + meta.size})
+	}
+	sort.Slice(ranges, func(i, j int) bool { return ranges[i].start < ranges[j].start })
+	for i := 1; i < len(ranges); i++ {
+		if ranges[i].start < ranges[i-1].end {
+			t.Fatalf("overlapping blocks: [%d,%d) and [%d,%d)",
+				ranges[i-1].start, ranges[i-1].end, ranges[i].start, ranges[i].end)
+		}
+	}
+}

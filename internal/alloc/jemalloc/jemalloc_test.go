@@ -1,0 +1,171 @@
+package jemalloc
+
+import (
+	"testing"
+
+	"github.com/hermes-sim/hermes/internal/alloc"
+	"github.com/hermes-sim/hermes/internal/kernel"
+	"github.com/hermes-sim/hermes/internal/simtime"
+)
+
+func newTestAlloc(t *testing.T) (*Allocator, *kernel.Kernel, *simtime.Scheduler) {
+	t.Helper()
+	s := simtime.NewScheduler()
+	cfg := kernel.DefaultConfig()
+	cfg.TotalMemory = 1 << 30
+	cfg.SwapBytes = 256 << 20
+	k := kernel.New(s, cfg)
+	a := New(k, "je", DefaultConfig())
+	t.Cleanup(a.Close)
+	return a, k, s
+}
+
+func TestClassForSpacing(t *testing.T) {
+	tests := []struct {
+		size int64
+		want int64
+	}{
+		{1, 16}, {16, 16}, {17, 32}, {32, 32}, {33, 48},
+		{128, 128}, {129, 160}, {160, 160}, {161, 192},
+		{1024, 1024}, {1025, 1280},
+	}
+	for _, tc := range tests {
+		if _, got := classFor(tc.size); got != tc.want {
+			t.Errorf("classFor(%d) class size = %d, want %d", tc.size, got, tc.want)
+		}
+	}
+	// Class size always ≥ request and < 2× request (above quantum range).
+	for size := int64(1); size <= 16384; size += 7 {
+		_, cs := classFor(size)
+		if cs < size {
+			t.Fatalf("class %d smaller than request %d", cs, size)
+		}
+		if size > 128 && cs > size*3/2 {
+			t.Fatalf("class %d too wasteful for %d", cs, size)
+		}
+	}
+}
+
+func TestLargeClassRounding(t *testing.T) {
+	a, _, _ := newTestAlloc(t)
+	// Page classes are ≥ the request and within 25% above.
+	for _, size := range []int64{20 << 10, 100 << 10, 256 << 10, 1 << 20, 3 << 20} {
+		pages := a.largePagesFor(size)
+		reqPages := (size + 4095) / 4096
+		if pages < reqPages {
+			t.Fatalf("largePagesFor(%d) = %d < %d", size, pages, reqPages)
+		}
+		if pages > reqPages+reqPages/4+1 {
+			t.Fatalf("largePagesFor(%d) = %d too wasteful vs %d", size, pages, reqPages)
+		}
+	}
+}
+
+func TestSmallRecycling(t *testing.T) {
+	a, k, s := newTestAlloc(t)
+	b1, _ := a.Malloc(s.Now(), 1024)
+	a.Touch(s.Now(), b1)
+	a.Free(s.Now(), b1)
+	faults0 := k.Stats().MinorFaults
+	b2, cost := a.Malloc(s.Now(), 1024)
+	if !b2.PreMapped && b2.EndPage != 0 {
+		t.Fatal("recycled object must be below the touched watermark")
+	}
+	a.Touch(s.Now().Add(cost), b2)
+	if k.Stats().MinorFaults != faults0 {
+		t.Fatal("recycled object must not fault")
+	}
+	k.CheckInvariants()
+}
+
+func TestSlabCarving(t *testing.T) {
+	a, k, s := newTestAlloc(t)
+	// Several small allocations share one slab VMA.
+	b1, _ := a.Malloc(s.Now(), 1024)
+	b2, _ := a.Malloc(s.Now(), 1024)
+	if b1.Region != b2.Region {
+		t.Fatal("same-class allocations must share a slab")
+	}
+	if b1.Region.Pages() != int64(DefaultConfig().SlabBytes)/k.PageSize() {
+		t.Fatalf("slab pages = %d", b1.Region.Pages())
+	}
+	// Different class → different slab.
+	b3, _ := a.Malloc(s.Now(), 8192)
+	if b3.Region == b1.Region {
+		t.Fatal("different classes must not share slabs")
+	}
+}
+
+func TestExtentCacheReuse(t *testing.T) {
+	a, k, s := newTestAlloc(t)
+	b1, _ := a.Malloc(s.Now(), 256<<10)
+	a.Touch(s.Now(), b1)
+	region1 := b1.Region
+	a.Free(s.Now(), b1)
+	mapped, purged := a.CachedExtentPages()
+	if mapped == 0 || purged != 0 {
+		t.Fatalf("extent cache after free: mapped=%d purged=%d", mapped, purged)
+	}
+	// Immediate reuse: same region, no faults.
+	faults0 := k.Stats().MinorFaults
+	b2, _ := a.Malloc(s.Now(), 256<<10)
+	if b2.Region != region1 {
+		t.Fatal("cached extent must be reused")
+	}
+	a.Touch(s.Now(), b2)
+	if k.Stats().MinorFaults != faults0 {
+		t.Fatal("reuse of mapped extent must not fault")
+	}
+	k.CheckInvariants()
+}
+
+func TestDecayPurgesExtents(t *testing.T) {
+	a, k, s := newTestAlloc(t)
+	b1, _ := a.Malloc(s.Now(), 256<<10)
+	a.Touch(s.Now(), b1)
+	a.Free(s.Now(), b1)
+	free0 := k.FreePages()
+	// Wait past the decay time: pages must come back to the kernel.
+	s.Advance(DefaultConfig().DecayTime + 2*DefaultConfig().DecayInterval)
+	if k.FreePages() <= free0 {
+		t.Fatal("decay must return pages to the kernel")
+	}
+	_, purged := a.CachedExtentPages()
+	if purged == 0 {
+		t.Fatal("extent not marked purged")
+	}
+	// Reuse after purge refaults.
+	faults0 := k.Stats().MinorFaults
+	b2, _ := a.Malloc(s.Now(), 256<<10)
+	a.Touch(s.Now(), b2)
+	if k.Stats().MinorFaults == faults0 {
+		t.Fatal("purged extent must refault on reuse")
+	}
+	k.CheckInvariants()
+}
+
+func TestFreshLargeIsSlowerThanCachedReuse(t *testing.T) {
+	a, _, s := newTestAlloc(t)
+	b1, c1 := a.Malloc(s.Now(), 256<<10)
+	t1 := a.Touch(s.Now().Add(c1), b1)
+	a.Free(s.Now(), b1)
+	b2, c2 := a.Malloc(s.Now(), 256<<10)
+	t2 := a.Touch(s.Now().Add(c2), b2)
+	if c2+t2 >= c1+t1 {
+		t.Fatalf("cached reuse %v not faster than fresh %v", c2+t2, c1+t1)
+	}
+}
+
+func TestStatsAndInterface(t *testing.T) {
+	a, _, s := newTestAlloc(t)
+	var _ alloc.Allocator = a
+	b, _ := a.Malloc(s.Now(), 100)
+	a.Free(s.Now(), b)
+	st := a.Stats()
+	if st.Mallocs != 1 || st.Frees != 1 || st.BytesRequested != 100 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if a.Name() != "jemalloc" {
+		t.Fatal("name")
+	}
+}

@@ -1,0 +1,170 @@
+package tcmalloc
+
+import (
+	"testing"
+
+	"github.com/hermes-sim/hermes/internal/alloc"
+	"github.com/hermes-sim/hermes/internal/kernel"
+	"github.com/hermes-sim/hermes/internal/simtime"
+)
+
+func newTestAlloc(t *testing.T) (*Allocator, *kernel.Kernel, *simtime.Scheduler) {
+	t.Helper()
+	s := simtime.NewScheduler()
+	cfg := kernel.DefaultConfig()
+	cfg.TotalMemory = 1 << 30
+	cfg.SwapBytes = 256 << 20
+	k := kernel.New(s, cfg)
+	a := New(k, "tc", DefaultConfig())
+	t.Cleanup(a.Close)
+	return a, k, s
+}
+
+func TestClassSizeFor(t *testing.T) {
+	tests := []struct {
+		size, want int64
+	}{
+		{1, 8}, {8, 8}, {9, 16}, {100, 104}, {1024, 1024},
+		{1025, 1280}, {2048, 2048}, {2049, 2560},
+	}
+	for _, tc := range tests {
+		if got := classSizeFor(tc.size); got != tc.want {
+			t.Errorf("classSizeFor(%d) = %d, want %d", tc.size, got, tc.want)
+		}
+	}
+	for size := int64(1); size <= 1<<18; size += 97 {
+		if cs := classSizeFor(size); cs < size {
+			t.Fatalf("class %d below request %d", cs, size)
+		}
+	}
+}
+
+func TestFirstAllocPaysSpanThenHits(t *testing.T) {
+	a, _, s := newTestAlloc(t)
+	_, first := a.Malloc(s.Now(), 1024)
+	if a.SpanAllocs != 1 || a.Fetches != 1 {
+		t.Fatalf("first alloc must fetch+span: fetches=%d spans=%d", a.Fetches, a.SpanAllocs)
+	}
+	_, second := a.Malloc(s.Now(), 1024)
+	if a.Fetches != 1 {
+		t.Fatal("second alloc must hit the thread cache")
+	}
+	if second >= first {
+		t.Fatalf("hit %v not cheaper than span path %v", second, first)
+	}
+	if second > simtime.Microsecond {
+		t.Fatalf("thread-cache hit cost %v, want sub-µs", second)
+	}
+}
+
+func TestSpikePeriodicity(t *testing.T) {
+	// The span/fetch spike recurs roughly every batch-worth of requests —
+	// TCMalloc's built-in p99 tail.
+	a, _, s := newTestAlloc(t)
+	batch := DefaultConfig().BatchBytes / classSizeFor(1024)
+	if batch > 32 {
+		batch = 32 // refill batches are clamped
+	}
+	var spikes int
+	const n = 1000
+	for i := 0; i < n; i++ {
+		_, cost := a.Malloc(s.Now(), 1024)
+		if cost > 5*simtime.Microsecond {
+			spikes++
+		}
+	}
+	wantMin, wantMax := int(n/batch)-2, int(n/batch)+2
+	if spikes < wantMin || spikes > wantMax {
+		t.Fatalf("spikes = %d, want ~%d (every %d allocs)", spikes, n/int(batch), batch)
+	}
+}
+
+func TestRecycledObjectsDoNotFault(t *testing.T) {
+	a, k, s := newTestAlloc(t)
+	b1, _ := a.Malloc(s.Now(), 1024)
+	a.Touch(s.Now(), b1)
+	a.Free(s.Now(), b1)
+	faults0 := k.Stats().MinorFaults
+	b2, _ := a.Malloc(s.Now(), 1024)
+	a.Touch(s.Now(), b2)
+	if k.Stats().MinorFaults != faults0 {
+		t.Fatal("recycled object must not fault")
+	}
+	k.CheckInvariants()
+}
+
+func TestThreadCacheSpillsToCentral(t *testing.T) {
+	a, _, s := newTestAlloc(t)
+	class := classSizeFor(1024)
+	batch := DefaultConfig().BatchBytes / class
+	var blocks []*alloc.Block
+	// Allocate and free a lot of one class: the thread cache must spill.
+	for i := int64(0); i < batch*4; i++ {
+		b, _ := a.Malloc(s.Now(), 1024)
+		blocks = append(blocks, b)
+	}
+	for _, b := range blocks {
+		a.Free(s.Now(), b)
+	}
+	if len(a.central[class]) == 0 {
+		t.Fatal("thread cache never spilled to central")
+	}
+	if int64(len(a.threadCache[class])) > 3*batch {
+		t.Fatalf("thread cache kept %d objects, spill broken", len(a.threadCache[class]))
+	}
+}
+
+func TestLargeSpanCacheReuse(t *testing.T) {
+	a, k, s := newTestAlloc(t)
+	b1, _ := a.Malloc(s.Now(), 512<<10) // above SmallMax
+	a.Touch(s.Now(), b1)
+	region1 := b1.Region
+	a.Free(s.Now(), b1)
+	faults0 := k.Stats().MinorFaults
+	b2, _ := a.Malloc(s.Now(), 512<<10)
+	if b2.Region != region1 {
+		t.Fatal("span cache must reuse the freed span")
+	}
+	a.Touch(s.Now(), b2)
+	if k.Stats().MinorFaults != faults0 {
+		t.Fatal("span reuse must not fault")
+	}
+}
+
+func TestArenaGrowsInLargeIncrements(t *testing.T) {
+	a, k, s := newTestAlloc(t)
+	a.Malloc(s.Now(), 1024)
+	// One arena growth of ArenaGrowBytes, not per-allocation mmaps.
+	if got := a.Process().VMACount(); got != 1 {
+		t.Fatalf("VMAs = %d, want 1 arena", got)
+	}
+	wantPages := DefaultConfig().ArenaGrowBytes / k.PageSize()
+	if a.cur.region.Pages() != wantPages {
+		t.Fatalf("arena pages = %d, want %d", a.cur.region.Pages(), wantPages)
+	}
+	// Memory is never returned to the OS on free.
+	b, _ := a.Malloc(s.Now(), 512<<10)
+	vmas := a.Process().VMACount()
+	a.Free(s.Now(), b)
+	if a.Process().VMACount() != vmas {
+		t.Fatal("TCMalloc model must not munmap on free")
+	}
+}
+
+func TestLowAverageVersusSpikes(t *testing.T) {
+	// Signature check: average cost is low, max cost is much higher.
+	a, _, s := newTestAlloc(t)
+	var total, max simtime.Duration
+	const n = 2000
+	for i := 0; i < n; i++ {
+		_, cost := a.Malloc(s.Now(), 1024)
+		total += cost
+		if cost > max {
+			max = cost
+		}
+	}
+	avg := total / n
+	if max < 10*avg {
+		t.Fatalf("tail/avg ratio too small: avg=%v max=%v", avg, max)
+	}
+}

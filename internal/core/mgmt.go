@@ -1,0 +1,307 @@
+package core
+
+import (
+	"github.com/hermes-sim/hermes/internal/alloc"
+	"github.com/hermes-sim/hermes/internal/kernel"
+	"github.com/hermes-sim/hermes/internal/simtime"
+)
+
+// This file is the management thread: each tick runs the heap routine
+// (Algorithm 1) and the mmap routine (Algorithm 2). Gradual heap
+// reservation is executed as a chain of scheduled steps — one sbrk+mlock
+// per step, the break lock held only within a step — so process mallocs
+// interleave with the reservation exactly as in the paper's Fig 6(b). A
+// single atomic loop would hold the lock for the whole expansion, which is
+// the naive strawman of Fig 6(a); the ablation reproduces it by setting
+// GradualChunkCeil to zero, collapsing the chain to one big step.
+
+func (h *Hermes) mgmtTick(now simtime.Time) simtime.Duration {
+	busy := h.cfg.MgmtTickCost
+	h.mgmtStats.Ticks++
+	h.updateThresholds()
+	if !h.cfg.DisableHeapMgmt {
+		busy += h.heapRoutine(now.Add(busy))
+	}
+	if !h.cfg.DisableMmapMgmt {
+		busy += h.mmapRoutine(now.Add(busy))
+	}
+	if r := h.reservedBytes(); r > h.reservePeak {
+		h.reservePeak = r
+	}
+	h.mgmtBusy += busy
+	return busy
+}
+
+// updateThresholds recomputes the reservation targets from the last
+// interval's allocation metrics (UpdateThreshold in Algorithms 1 and 2):
+// the target is requested-bytes × RSV_FACTOR with the min_rsv floor, the
+// reservation threshold is half the target, the trim threshold twice it,
+// and the gradual chunk tracks the average request size.
+func (h *Hermes) updateThresholds() {
+	ps := h.k.PageSize()
+
+	heapTarget := int64(float64(h.smallBytes) * h.cfg.ReservationFactor)
+	if heapTarget < h.cfg.MinReserve {
+		heapTarget = h.cfg.MinReserve
+	}
+	h.heapTarget = heapTarget
+	h.heapRsvThr = int64(h.cfg.RsvThrFraction * float64(heapTarget))
+	h.heapTrimThr = heapTarget * 2
+	if h.smallCount > 0 {
+		avg := h.smallBytes / h.smallCount
+		h.heapChunk = clamp(avg, h.cfg.GradualChunkFloor, gradualCeil(h.cfg, heapTarget))
+	}
+
+	mmapTargetPages := int64(float64(h.largePages) * h.cfg.ReservationFactor)
+	if h.everLarge {
+		// min_rsv applies once the service is known to use the mmap path;
+		// a heap-only service keeps no idle pool.
+		if floor := h.cfg.MinReserve / ps; mmapTargetPages < floor {
+			mmapTargetPages = floor
+		}
+	}
+	h.mmapTarget = mmapTargetPages
+	h.mmapRsvThr = int64(h.cfg.RsvThrFraction * float64(mmapTargetPages))
+	h.mmapTrimThr = mmapTargetPages * 2
+	if h.largeCount > 0 {
+		avg := h.largePages / h.largeCount
+		minPages := h.cfg.MinMmapSize / ps
+		maxPages := int64(h.cfg.TableSize) * minPages
+		h.mmapChunk = clamp(avg, minPages, maxPages)
+	}
+
+	h.smallBytes, h.smallCount = 0, 0
+	h.largePages, h.largeCount = 0, 0
+}
+
+// scarce reports whether free memory is close enough to the minimum
+// watermark that a reservation would trigger synchronous direct reclaim.
+func (h *Hermes) scarce() bool {
+	min, _, _ := h.k.Watermarks()
+	ps := h.k.PageSize()
+	headroom := 2 * (h.heapChunk + h.mmapChunk*ps) / ps
+	return h.k.FreePages() < min+headroom
+}
+
+func gradualCeil(cfg Config, target int64) int64 {
+	if cfg.GradualChunkCeil <= 0 {
+		// Ablation mode: reserve everything in one step (the naive
+		// approach of §3.2.1 / Fig 6a).
+		return target
+	}
+	return cfg.GradualChunkCeil
+}
+
+func clamp(v, lo, hi int64) int64 {
+	if hi < lo {
+		hi = lo
+	}
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// heapRoutine is Algorithm 1's dispatcher: start a gradual reservation
+// chain when the top chunk is below RSV_THR, trim it above TRIM_THR.
+func (h *Hermes) heapRoutine(at simtime.Time) simtime.Duration {
+	if h.heapReserving {
+		return 0 // a reservation chain is already in flight
+	}
+	topFree := h.g.TopBytes()
+	switch {
+	case topFree < h.heapRsvThr:
+		h.heapReserving = true
+		h.reserveGoal = h.heapTarget - topFree
+		h.k.Scheduler().Schedule(at, func(*simtime.Scheduler) { h.heapReserveStep(at) })
+		return 0
+	case topFree > h.heapTrimThr:
+		var busy simtime.Duration
+		lock := h.g.BreakLock()
+		grant := lock.AcquireAt(at)
+		busy += grant.Sub(at)
+		busy += h.g.TrimHeap(at.Add(busy), h.heapTrimThr)
+		lock.HoldUntil(at.Add(busy))
+		h.mgmtStats.HeapTrims++
+		h.mgmtBusy += busy
+		return 0 // already accounted into mgmtBusy
+	}
+	return 0
+}
+
+// heapReserveStep performs one gradual-reservation step — acquire the break
+// lock, sbrk one chunk, construct its mapping with mlock, release — then
+// schedules the next step at the instant this one completes. Process
+// mallocs arriving between steps run unobstructed; one arriving mid-step
+// waits at most the step's duration (Fig 6b).
+func (h *Hermes) heapReserveStep(at simtime.Time) {
+	if h.closed || h.reserveGoal <= 0 {
+		h.heapReserving = false
+		return
+	}
+	// Under critical scarcity, reserving would drag synchronous direct
+	// reclaim inside the break-lock hold, blocking the service for
+	// milliseconds — worse than letting requests take the default routine.
+	// The chain abandons and retries next interval (§3.3: reservation "can
+	// still be delayed if it triggers the direct reclaim routine";
+	// proactive reclamation exists to reduce exactly this).
+	if h.scarce() {
+		h.heapReserving = false
+		return
+	}
+	chunk := h.heapChunk
+	if h.cfg.GradualChunkCeil <= 0 {
+		// Fig 6(a) ablation: the whole remaining reservation in one step.
+		chunk = h.reserveGoal
+	} else if chunk > h.cfg.GradualChunkCeil {
+		chunk = h.cfg.GradualChunkCeil
+	}
+	if chunk > h.reserveGoal {
+		chunk = h.reserveGoal
+	}
+
+	lock := h.g.BreakLock()
+	start := lock.AcquireAt(at)
+	var step simtime.Duration
+	step += h.g.GrowHeap(start, chunk)
+	ps := h.k.PageSize()
+	pages := (chunk + ps - 1) / ps
+	region := h.g.HeapRegion()
+	if u := region.Untouched(); pages > u {
+		pages = u
+	}
+	if pages > 0 {
+		step += h.k.PopulateLocked(start.Add(step), region, pages)
+	}
+	end := start.Add(step)
+	lock.HoldUntil(end)
+	// The new space is visible to the process only once this step's
+	// construction completes.
+	h.g.SetTopEmbargo(end, chunk)
+	if step > h.mgmtStats.MaxLockHold {
+		h.mgmtStats.MaxLockHold = step
+	}
+	h.mgmtBusy += step
+	h.mgmtStats.HeapReservations++
+	h.reserveGoal -= chunk
+
+	if h.reserveGoal > 0 {
+		h.k.Scheduler().Schedule(end, func(*simtime.Scheduler) { h.heapReserveStep(end) })
+	} else {
+		h.heapReserving = false
+	}
+}
+
+// mmapRoutine is Algorithm 2: shrink oversized handouts (DelayRelease),
+// refill the segregated pool with pre-mapped chunks, trim the pool above
+// the threshold. All of it is asynchronous with the process thread — large
+// requests never wait on this routine (they fall back to the default route
+// instead).
+func (h *Hermes) mmapRoutine(at simtime.Time) simtime.Duration {
+	var busy simtime.Duration
+
+	// DelayRelease: shrink chunks handed out larger than their request.
+	for region, need := range h.handouts {
+		if excess := region.Pages() - need; excess > 0 {
+			busy += h.k.Munmap(at.Add(busy), region, excess)
+			h.mgmtStats.Shrinks++
+		}
+		delete(h.handouts, region)
+	}
+
+	// Reserve until the pool reaches the target — but bound the work per
+	// tick: under heavy pressure each PopulateLocked drags direct reclaim
+	// and disk writeback with it, and an unbounded refill loop would queue
+	// device work far ahead of the clock, stalling every foreground fault
+	// behind it. Refill resumes next tick (the paper: reservation "can
+	// still be delayed if it triggers the direct reclaim routine").
+	if h.pool.totalPages < h.mmapRsvThr {
+		budget := h.cfg.Interval
+		for h.pool.totalPages < h.mmapTarget && busy < budget && !h.scarce() {
+			chunk := h.mmapChunk
+			region, c := h.k.Mmap(at.Add(busy), h.g.Process(), chunk)
+			busy += c
+			busy += h.k.PopulateLocked(at.Add(busy), region, chunk)
+			h.pool.add(poolChunk{region: region, locked: true})
+			h.mgmtStats.MmapReservations++
+		}
+	}
+
+	// Trim: release the smallest chunks while the pool exceeds the
+	// threshold.
+	for h.pool.totalPages > h.mmapTrimThr {
+		c, ok := h.pool.takeSmallest()
+		if !ok {
+			break
+		}
+		busy += h.k.Munmap(at.Add(busy), c.region, c.region.Pages())
+	}
+	return busy
+}
+
+// mallocLarge serves an mmap-path request from the pool (§3.2.2): compute
+// the best-fit bucket, take its first chunk (guaranteed to fit), or expand
+// the largest pooled chunk, or fall back to the default mmap routine. The
+// reserved pages are munlocked as they leave the reserve.
+func (h *Hermes) mallocLarge(at simtime.Time, size int64) (*alloc.Block, simtime.Duration) {
+	ps := h.k.PageSize()
+	chunkBytes := size + 32 // header+alignment, mirroring the glibc model
+	reqPages := (chunkBytes + ps - 1) / ps
+	h.largePages += reqPages
+	h.largeCount++
+	h.everLarge = true
+	cost := h.cfg.PoolLookupCost
+
+	if c, ok := h.pool.takeFit(reqPages); ok {
+		h.mgmtStats.PoolHits++
+		if c.locked {
+			cost += h.k.Munlock(at.Add(cost), c.region, c.region.Locked())
+		}
+		if c.pages() > reqPages {
+			h.handouts[c.region] = reqPages
+		}
+		return h.poolBlock(size, reqPages, c.region), cost
+	}
+
+	if c, ok := h.pool.takeLargest(); ok {
+		// Expand the largest chunk to the request: mapping construction is
+		// only needed for the delta (§3.2.2).
+		h.mgmtStats.PoolExpands++
+		if c.locked {
+			cost += h.k.Munlock(at.Add(cost), c.region, c.region.Locked())
+		}
+		if extra := reqPages - c.pages(); extra > 0 {
+			cost += h.k.MremapGrow(at.Add(cost), c.region, extra)
+		}
+		return h.poolBlock(size, reqPages, c.region), cost
+	}
+
+	// Empty pool: default allocation route (Glibc's mmap path, pages fault
+	// at first touch).
+	h.mgmtStats.PoolMisses++
+	region, c := h.k.Mmap(at.Add(cost), h.g.Process(), reqPages)
+	cost += c + h.g.Config().MallocFastCost
+	return &alloc.Block{
+		Size:      size,
+		ChunkSize: reqPages * ps,
+		Kind:      alloc.BlockMmap,
+		Region:    region,
+		EndPage:   reqPages,
+	}, cost
+}
+
+func (h *Hermes) poolBlock(size, reqPages int64, region *kernel.Region) *alloc.Block {
+	return &alloc.Block{
+		Size:      size,
+		ChunkSize: reqPages * h.k.PageSize(),
+		Kind:      alloc.BlockMmap,
+		Region:    region,
+		// Resident (not merely touched-then-swapped) pages qualify as
+		// pre-mapped.
+		EndPage:   reqPages,
+		PreMapped: region.Mapped() >= reqPages,
+	}
+}

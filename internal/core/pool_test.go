@@ -1,0 +1,164 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/hermes-sim/hermes/internal/kernel"
+	"github.com/hermes-sim/hermes/internal/simtime"
+)
+
+func newPoolKernel() (*kernel.Kernel, *kernel.Process, *simtime.Scheduler) {
+	s := simtime.NewScheduler()
+	cfg := kernel.DefaultConfig()
+	cfg.TotalMemory = 1 << 30
+	cfg.SwapBytes = 0
+	k := kernel.New(s, cfg)
+	return k, k.CreateProcess("pool"), s
+}
+
+func mkChunk(k *kernel.Kernel, p *kernel.Process, s *simtime.Scheduler, pages int64) poolChunk {
+	r, _ := k.Mmap(s.Now(), p, pages)
+	return poolChunk{region: r}
+}
+
+func TestBucketForEquation1(t *testing.T) {
+	k, _, _ := newPoolKernel()
+	pool := newSegregatedPool(128<<10, k.PageSize(), 8)
+	minPages := int64((128 << 10) / 4096) // 32
+	tests := []struct {
+		pages int64
+		want  int
+	}{
+		{1, 1},              // below min_mmap_size clamps to 1
+		{minPages, 1},       // exactly 128KB
+		{minPages*2 - 1, 1}, // 255KB floors to 1
+		{minPages * 2, 2},   // 256KB
+		{minPages * 7, 7},   // 896KB
+		{minPages * 8, 8},   // 1MB hits table_size
+		{minPages * 100, 8}, // clamped at table_size
+	}
+	for _, tc := range tests {
+		if got := pool.bucketFor(tc.pages); got != tc.want {
+			t.Errorf("bucketFor(%d) = %d, want %d", tc.pages, got, tc.want)
+		}
+	}
+}
+
+func TestTakeFitUsesNextBucketUp(t *testing.T) {
+	k, p, s := newPoolKernel()
+	pool := newSegregatedPool(128<<10, k.PageSize(), 8)
+	minPages := int64(32)
+	// The paper's worked example: chunks of 524KB (bucket 4 /1MB... here:
+	// put two chunks in bucket 1 and one in bucket 2; request 90 pages
+	// (≈360KB, bucket 2): takeFit must search from bucket 3 — but bucket 2
+	// chunk may be smaller than the request, so it is skipped by design.
+	pool.add(mkChunk(k, p, s, minPages))     // bucket 1
+	pool.add(mkChunk(k, p, s, minPages+10))  // bucket 1
+	pool.add(mkChunk(k, p, s, minPages*2+4)) // bucket 2 (68 pages < 90)
+	if _, ok := pool.takeFit(90); ok {
+		t.Fatal("takeFit must not return a chunk smaller than the request")
+	}
+	// Add a bucket-3 chunk: now the request fits via the fast path.
+	big := mkChunk(k, p, s, minPages*3)
+	pool.add(big)
+	c, ok := pool.takeFit(90)
+	if !ok || c.region != big.region {
+		t.Fatal("takeFit must take the first chunk of the next bucket up")
+	}
+}
+
+func TestTakeFitOwnBucketScanForSameSizeWorkload(t *testing.T) {
+	// Latency-critical services issue near-constant-size requests, so the
+	// reserved chunks live in the request's own bucket: takeFit must find
+	// them when higher buckets are empty.
+	k, p, s := newPoolKernel()
+	pool := newSegregatedPool(128<<10, k.PageSize(), 8)
+	c65 := mkChunk(k, p, s, 65) // a 256KB+header chunk, bucket 2
+	pool.add(c65)
+	got, ok := pool.takeFit(65)
+	if !ok || got.region != c65.region {
+		t.Fatal("takeFit must serve an equal-size chunk from the request's own bucket")
+	}
+	// But a smaller chunk in the same bucket must not satisfy it.
+	pool.add(mkChunk(k, p, s, 64)) // also bucket 2, one page short
+	if _, ok := pool.takeFit(65); ok {
+		t.Fatal("own-bucket scan must respect the size requirement")
+	}
+}
+
+func TestTakeFitGuaranteesSize(t *testing.T) {
+	// Property: any chunk takeFit returns is at least the request size.
+	k, p, s := newPoolKernel()
+	f := func(sizes []uint16, req uint16) bool {
+		pool := newSegregatedPool(128<<10, k.PageSize(), 8)
+		for _, sz := range sizes {
+			pool.add(mkChunk(k, p, s, int64(sz%2000)+1))
+		}
+		reqPages := int64(req%2000) + 1
+		c, ok := pool.takeFit(reqPages)
+		if !ok {
+			return true
+		}
+		return c.pages() >= reqPages
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTakeLargestAndSmallest(t *testing.T) {
+	k, p, s := newPoolKernel()
+	pool := newSegregatedPool(128<<10, k.PageSize(), 8)
+	a := mkChunk(k, p, s, 40)
+	b := mkChunk(k, p, s, 400)
+	c := mkChunk(k, p, s, 100)
+	pool.add(a)
+	pool.add(b)
+	pool.add(c)
+	if got, ok := pool.takeLargest(); !ok || got.region != b.region {
+		t.Fatal("takeLargest must return the 400-page chunk")
+	}
+	if got, ok := pool.takeSmallest(); !ok || got.region != a.region {
+		t.Fatal("takeSmallest must return the 40-page chunk")
+	}
+	if got, ok := pool.takeSmallest(); !ok || got.region != c.region {
+		t.Fatal("last chunk must be the 100-page one")
+	}
+	if _, ok := pool.takeSmallest(); ok {
+		t.Fatal("empty pool must report no chunk")
+	}
+	if pool.totalPages != 0 || pool.chunks() != 0 {
+		t.Fatalf("pool accounting broken: total=%d chunks=%d", pool.totalPages, pool.chunks())
+	}
+}
+
+func TestPoolTotalPagesAccounting(t *testing.T) {
+	k, p, s := newPoolKernel()
+	f := func(sizes []uint8) bool {
+		pool := newSegregatedPool(128<<10, k.PageSize(), 8)
+		var want int64
+		for _, sz := range sizes {
+			pages := int64(sz) + 1
+			pool.add(mkChunk(k, p, s, pages))
+			want += pages
+		}
+		if pool.totalPages != want {
+			return false
+		}
+		for pool.chunks() > 0 {
+			c, ok := pool.takeSmallest()
+			if !ok {
+				return false
+			}
+			want -= c.pages()
+			if pool.totalPages != want {
+				return false
+			}
+		}
+		return pool.totalPages == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,213 @@
+package kernel
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"github.com/hermes-sim/hermes/internal/simtime"
+)
+
+// TestRandomOperationSequenceKeepsInvariants drives the kernel with a long
+// random mix of every operation and checks full accounting invariants after
+// each step. This is the workhorse property test for the substrate.
+func TestRandomOperationSequenceKeepsInvariants(t *testing.T) {
+	for _, seed := range []uint64{1, 2, 3, 42, 1234} {
+		seed := seed
+		t.Run("", func(t *testing.T) {
+			runRandomOps(t, seed, 3000)
+		})
+	}
+}
+
+func runRandomOps(t *testing.T, seed uint64, steps int) {
+	t.Helper()
+	cfg := smallConfig()
+	cfg.Seed = seed
+	s := simtime.NewScheduler()
+	k := New(s, cfg)
+	rng := rand.New(rand.NewPCG(seed, seed))
+
+	k.SetOOMHandler(func(k *Kernel, at simtime.Time, need int64) bool {
+		// Kill the fattest process that is not the only one.
+		var fattest *Process
+		for _, p := range k.procs {
+			if fattest == nil || p.RSSPages() > fattest.RSSPages() {
+				fattest = p
+			}
+		}
+		if fattest == nil {
+			return false
+		}
+		k.ExitProcess(fattest)
+		return true
+	})
+
+	var procs []*Process
+	var regions []*Region
+	var files []*File
+	fileSeq := 0
+
+	newProc := func() {
+		procs = append(procs, k.CreateProcess("p"))
+	}
+	newProc()
+
+	alive := func(r *Region) bool { return r != nil && !r.dead && !r.Proc.dead }
+
+	for i := 0; i < steps; i++ {
+		if len(procs) == 0 {
+			newProc()
+		}
+		p := procs[rng.IntN(len(procs))]
+		if p.Dead() {
+			continue
+		}
+		switch rng.IntN(14) {
+		case 0:
+			newProc()
+		case 1:
+			k.Sbrk(s.Now(), p, int64(1+rng.IntN(64)))
+		case 2:
+			if u := p.Heap().Untouched(); u > 0 {
+				k.FaultIn(s.Now(), p.Heap(), 1+rng.Int64N(u))
+			}
+		case 3:
+			if p.Heap().Pages() > 0 {
+				k.Sbrk(s.Now(), p, -(1 + rng.Int64N(p.Heap().Pages())))
+			}
+		case 4:
+			r, _ := k.Mmap(s.Now(), p, int64(1+rng.IntN(128)))
+			regions = append(regions, r)
+		case 5, 6:
+			if len(regions) > 0 {
+				r := regions[rng.IntN(len(regions))]
+				if alive(r) {
+					if u := r.Untouched(); u > 0 {
+						k.FaultIn(s.Now(), r, 1+rng.Int64N(u))
+					}
+				}
+			}
+		case 7:
+			if len(regions) > 0 {
+				r := regions[rng.IntN(len(regions))]
+				if alive(r) && r.Pages() > 0 {
+					k.Munmap(s.Now(), r, 1+rng.Int64N(r.Pages()))
+				}
+			}
+		case 8:
+			if len(regions) > 0 {
+				r := regions[rng.IntN(len(regions))]
+				if alive(r) {
+					if u := r.Untouched(); u > 0 {
+						k.PopulateLocked(s.Now(), r, 1+rng.Int64N(u))
+					}
+				}
+			}
+		case 9:
+			if len(regions) > 0 {
+				r := regions[rng.IntN(len(regions))]
+				if alive(r) && r.Locked() > 0 {
+					k.Munlock(s.Now(), r, 1+rng.Int64N(r.Locked()))
+				}
+			}
+		case 10:
+			fileSeq++
+			f := k.CreateFile(fileName(fileSeq), int64(rng.IntN(512)), p.PID)
+			files = append(files, f)
+		case 11:
+			if len(files) > 0 {
+				f := files[rng.IntN(len(files))]
+				if !f.Deleted() && f.SizePages() > 0 {
+					k.ReadFile(s.Now(), f, 1+rng.Int64N(f.SizePages()))
+				}
+			}
+		case 12:
+			if len(files) > 0 {
+				f := files[rng.IntN(len(files))]
+				if !f.Deleted() {
+					k.WriteFile(s.Now(), f, 1+rng.Int64N(64), true)
+				}
+			}
+		case 13:
+			if len(files) > 0 && rng.IntN(4) == 0 {
+				f := files[rng.IntN(len(files))]
+				if !f.Deleted() {
+					k.FadviseDontNeed(s.Now(), f)
+				}
+			} else if len(regions) > 0 {
+				r := regions[rng.IntN(len(regions))]
+				if alive(r) {
+					k.Access(s.Now(), r, 1+rng.Int64N(64))
+				}
+			}
+		}
+		s.Advance(simtime.Duration(rng.IntN(int(simtime.Millisecond))))
+		k.CheckInvariants()
+
+		// Drop dead references occasionally to exercise fresh ones.
+		if i%500 == 499 {
+			regions = compactRegions(regions)
+			procs = compactProcs(procs)
+		}
+	}
+	// Drain background work and re-check.
+	s.Advance(simtime.Second)
+	k.CheckInvariants()
+}
+
+func fileName(i int) string {
+	return "f" + string(rune('a'+i%26)) + "-" + itoa(i)
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b []byte
+	for i > 0 {
+		b = append([]byte{byte('0' + i%10)}, b...)
+		i /= 10
+	}
+	return string(b)
+}
+
+func compactRegions(in []*Region) []*Region {
+	var out []*Region
+	for _, r := range in {
+		if r != nil && !r.dead && r.Proc != nil && !r.Proc.dead {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func compactProcs(in []*Process) []*Process {
+	var out []*Process
+	for _, p := range in {
+		if !p.Dead() {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func TestDeterminismSameSeedSameResult(t *testing.T) {
+	run := func() (int64, int64, Stats) {
+		cfg := smallConfig()
+		cfg.Seed = 99
+		s := simtime.NewScheduler()
+		k := New(s, cfg)
+		p := k.CreateProcess("svc")
+		min, _, _ := k.Watermarks()
+		fillAnon(k, s, p, k.FreePages()-min-64)
+		r, _ := k.Mmap(s.Now(), p, 512)
+		k.FaultIn(s.Now(), r, 512)
+		s.Advance(100 * simtime.Millisecond)
+		return k.FreePages(), k.SwapUsedPages(), k.Stats()
+	}
+	f1, sw1, st1 := run()
+	f2, sw2, st2 := run()
+	if f1 != f2 || sw1 != sw2 || st1 != st2 {
+		t.Fatalf("same seed diverged: (%d,%d,%+v) vs (%d,%d,%+v)", f1, sw1, st1, f2, sw2, st2)
+	}
+}

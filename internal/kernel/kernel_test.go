@@ -1,0 +1,240 @@
+package kernel
+
+import (
+	"testing"
+
+	"github.com/hermes-sim/hermes/internal/simtime"
+)
+
+// smallConfig returns a node small enough that tests can push it into
+// memory pressure quickly: 64 MiB RAM, 32 MiB swap.
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.TotalMemory = 64 << 20
+	cfg.SwapBytes = 32 << 20
+	cfg.MinFilePages = 256
+	return cfg
+}
+
+func newTestKernel(t *testing.T, cfg Config) (*Kernel, *simtime.Scheduler) {
+	t.Helper()
+	s := simtime.NewScheduler()
+	k := New(s, cfg)
+	return k, s
+}
+
+func TestNewKernelGeometry(t *testing.T) {
+	k, _ := newTestKernel(t, DefaultConfig())
+	if k.TotalPages() != (128<<30)/4096 {
+		t.Fatalf("total pages = %d", k.TotalPages())
+	}
+	if k.FreePages() != k.TotalPages() {
+		t.Fatal("fresh kernel must be all free")
+	}
+	min, low, high := k.Watermarks()
+	if !(0 < min && min < low && low < high) {
+		t.Fatalf("watermark order broken: %d %d %d", min, low, high)
+	}
+	// Paper §2.3: watermarks near 1‰ of the zone. On 128 GB expect tens of MB.
+	lowBytes := low * k.PageSize()
+	if lowBytes < 20<<20 || lowBytes > 200<<20 {
+		t.Fatalf("low watermark %d bytes implausible for 128 GB", lowBytes)
+	}
+	k.CheckInvariants()
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.TotalMemory = 0 },
+		func(c *Config) { c.TotalMemory = 4097 }, // not page multiple
+		func(c *Config) { c.SwapBytes = -4096 },
+		func(c *Config) { c.KswapdPeriod = 0 },
+		func(c *Config) { c.KswapdBatchPages = 0 },
+		func(c *Config) { c.Disk.ClusterPages = 0 },
+	}
+	for i, mutate := range bad {
+		cfg := DefaultConfig()
+		mutate(&cfg)
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: invalid config must panic", i)
+				}
+			}()
+			New(simtime.NewScheduler(), cfg)
+		}()
+	}
+}
+
+func TestSbrkGrowAndFault(t *testing.T) {
+	k, s := newTestKernel(t, smallConfig())
+	p := k.CreateProcess("svc")
+	cost := k.Sbrk(s.Now(), p, 100)
+	if cost <= 0 {
+		t.Fatal("sbrk must cost time")
+	}
+	h := p.Heap()
+	if h.Pages() != 100 || h.Mapped() != 0 {
+		t.Fatalf("heap after sbrk: pages=%d mapped=%d", h.Pages(), h.Mapped())
+	}
+	free0 := k.FreePages()
+	fcost := k.FaultIn(s.Now(), h, 40)
+	if fcost <= 0 {
+		t.Fatal("fault-in must cost time")
+	}
+	if h.Mapped() != 40 || k.FreePages() != free0-40 {
+		t.Fatalf("after fault: mapped=%d free=%d", h.Mapped(), k.FreePages())
+	}
+	if k.Stats().MinorFaults != 40 {
+		t.Fatalf("minor faults = %d", k.Stats().MinorFaults)
+	}
+	k.CheckInvariants()
+}
+
+func TestSbrkShrinkReleasesPages(t *testing.T) {
+	k, s := newTestKernel(t, smallConfig())
+	p := k.CreateProcess("svc")
+	k.Sbrk(s.Now(), p, 100)
+	k.FaultIn(s.Now(), p.Heap(), 100)
+	free0 := k.FreePages()
+	k.Sbrk(s.Now(), p, -60)
+	if p.Heap().Pages() != 40 {
+		t.Fatalf("heap pages = %d, want 40", p.Heap().Pages())
+	}
+	if k.FreePages() != free0+60 {
+		t.Fatalf("free = %d, want %d", k.FreePages(), free0+60)
+	}
+	k.CheckInvariants()
+}
+
+func TestSbrkShrinkConsumesUntouchedFirst(t *testing.T) {
+	k, s := newTestKernel(t, smallConfig())
+	p := k.CreateProcess("svc")
+	k.Sbrk(s.Now(), p, 100)
+	k.FaultIn(s.Now(), p.Heap(), 30) // 70 untouched
+	k.Sbrk(s.Now(), p, -50)          // releases 50 untouched
+	h := p.Heap()
+	if h.Mapped() != 30 {
+		t.Fatalf("mapped = %d, want 30 (untouched released first)", h.Mapped())
+	}
+	if h.Untouched() != 20 {
+		t.Fatalf("untouched = %d, want 20", h.Untouched())
+	}
+	k.CheckInvariants()
+}
+
+func TestMmapMunmapLifecycle(t *testing.T) {
+	k, s := newTestKernel(t, smallConfig())
+	p := k.CreateProcess("svc")
+	r, cost := k.Mmap(s.Now(), p, 64)
+	if cost <= 0 || r.Pages() != 64 {
+		t.Fatalf("mmap: cost=%v pages=%d", cost, r.Pages())
+	}
+	if p.VMACount() != 1 {
+		t.Fatal("vma not registered")
+	}
+	k.FaultIn(s.Now(), r, 64)
+	free0 := k.FreePages()
+	// Partial shrink (Hermes delayed release).
+	k.Munmap(s.Now(), r, 14)
+	if r.Pages() != 50 || k.FreePages() != free0+14 {
+		t.Fatalf("partial munmap: pages=%d free=%d", r.Pages(), k.FreePages())
+	}
+	// Full release removes the VMA.
+	k.Munmap(s.Now(), r, 50)
+	if p.VMACount() != 0 {
+		t.Fatal("vma not removed after full munmap")
+	}
+	k.CheckInvariants()
+}
+
+func TestPopulateLockedAndMunlock(t *testing.T) {
+	k, s := newTestKernel(t, smallConfig())
+	p := k.CreateProcess("svc")
+	r, _ := k.Mmap(s.Now(), p, 64)
+	cost := k.PopulateLocked(s.Now(), r, 64)
+	if cost <= 0 {
+		t.Fatal("mlock populate must cost time")
+	}
+	if r.Locked() != 64 || r.Mapped() != 64 {
+		t.Fatalf("locked=%d mapped=%d", r.Locked(), r.Mapped())
+	}
+	// Locked pages are off the LRU.
+	if got := k.lru.activeAnon.pages + k.lru.inactiveAnon.pages; got != 0 {
+		t.Fatalf("anon LRU pages = %d, want 0 while locked", got)
+	}
+	k.Munlock(s.Now(), r, 64)
+	if r.Locked() != 0 {
+		t.Fatal("munlock did not unlock")
+	}
+	if got := k.lru.activeAnon.pages; got != 64 {
+		t.Fatalf("anon LRU pages = %d, want 64 after munlock", got)
+	}
+	k.CheckInvariants()
+}
+
+func TestMlockBulkCheaperThanTouch(t *testing.T) {
+	// Paper §4: mlock-based construction is ≥40% faster than iterating.
+	cfgA := smallConfig()
+	kA, sA := newTestKernel(t, cfgA)
+	pA := kA.CreateProcess("a")
+	rA, _ := kA.Mmap(sA.Now(), pA, 256)
+	touchCost := kA.FaultIn(sA.Now(), rA, 256)
+
+	kB, sB := newTestKernel(t, cfgA)
+	pB := kB.CreateProcess("b")
+	rB, _ := kB.Mmap(sB.Now(), pB, 256)
+	mlockCost := kB.PopulateLocked(sB.Now(), rB, 256)
+
+	if float64(mlockCost) > 0.7*float64(touchCost) {
+		t.Fatalf("mlock %v not ≥30%% cheaper than touch %v", mlockCost, touchCost)
+	}
+}
+
+func TestExitProcessFreesAnonKeepsFileCache(t *testing.T) {
+	k, s := newTestKernel(t, smallConfig())
+	p := k.CreateProcess("batch")
+	k.Sbrk(s.Now(), p, 200)
+	k.FaultIn(s.Now(), p.Heap(), 200)
+	f := k.CreateFile("input.dat", 500, p.PID)
+	k.ReadFile(s.Now(), f, 500)
+
+	freeBefore := k.FreePages()
+	k.ExitProcess(p)
+	// Anon pages come back...
+	if k.FreePages() != freeBefore+200 {
+		t.Fatalf("free = %d, want %d (anon reclaimed at exit)", k.FreePages(), freeBefore+200)
+	}
+	// ...but the file cache lingers — the paper's §2.3 observation.
+	if f.CachedPages() != 500 {
+		t.Fatalf("file cache = %d, want 500 (must survive process exit)", f.CachedPages())
+	}
+	if k.Process(p.PID) != nil {
+		t.Fatal("process still visible after exit")
+	}
+	k.CheckInvariants()
+}
+
+func TestDeadProcessOperationsPanic(t *testing.T) {
+	k, s := newTestKernel(t, smallConfig())
+	p := k.CreateProcess("x")
+	k.ExitProcess(p)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("sbrk on dead process must panic")
+		}
+	}()
+	k.Sbrk(s.Now(), p, 10)
+}
+
+func TestFaultInBeyondUntouchedPanics(t *testing.T) {
+	k, s := newTestKernel(t, smallConfig())
+	p := k.CreateProcess("x")
+	k.Sbrk(s.Now(), p, 10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("over-faulting must panic")
+		}
+	}()
+	k.FaultIn(s.Now(), p.Heap(), 11)
+}

@@ -1,0 +1,109 @@
+package services
+
+import (
+	"fmt"
+
+	"github.com/hermes-sim/hermes/internal/alloc"
+	"github.com/hermes-sim/hermes/internal/kernel"
+	"github.com/hermes-sim/hermes/internal/simtime"
+	"github.com/hermes-sim/hermes/internal/workload"
+)
+
+// Redis models the in-memory key-value store of §5.3: every value lives in
+// allocator-backed memory for the record's whole lifetime, so the store's
+// resident set equals the dataset and old values are prime swap victims
+// under node pressure — the paper's reason Redis leaves less room for batch
+// jobs than RocksDB (Table 1 discussion).
+type Redis struct {
+	k     *kernel.Kernel
+	a     alloc.Allocator
+	costs CostConfig
+
+	table  map[int64]*alloc.Block
+	stored int64
+
+	lastPreMapped bool
+}
+
+var _ Service = (*Redis)(nil)
+
+// NewRedis creates the store on the given allocator.
+func NewRedis(k *kernel.Kernel, a alloc.Allocator, costs CostConfig) *Redis {
+	return &Redis{k: k, a: a, costs: costs, table: make(map[int64]*alloc.Block)}
+}
+
+// Name implements Service.
+func (r *Redis) Name() string { return "Redis" }
+
+// Allocator implements Service.
+func (r *Redis) Allocator() alloc.Allocator { return r.a }
+
+// StoredBytes implements Service.
+func (r *Redis) StoredBytes() int64 { return r.stored }
+
+// Insert implements Service: allocate, copy the payload, update the index;
+// an overwrite frees the old value afterwards, as Redis does.
+func (r *Redis) Insert(key, valueBytes int64) simtime.Duration {
+	if valueBytes <= 0 {
+		panic(fmt.Sprintf("services: insert of %d bytes", valueBytes))
+	}
+	now := r.k.Scheduler().Now()
+	cost := r.costs.IndexCost
+	b, c := r.a.Malloc(now.Add(cost), valueBytes)
+	cost += c
+	cost += r.a.Touch(now.Add(cost), b)
+	cost += copyCost(r.costs, valueBytes)
+	r.lastPreMapped = b.PreMapped
+	if old, ok := r.table[key]; ok {
+		cost += r.a.Free(now.Add(cost), old)
+		r.stored -= old.Size
+	}
+	r.table[key] = b
+	r.stored += valueBytes
+	return cost
+}
+
+// Read implements Service: index probe plus payload streaming; values that
+// were swapped out come back in at major-fault cost.
+func (r *Redis) Read(key int64) simtime.Duration {
+	now := r.k.Scheduler().Now()
+	cost := r.costs.IndexCost
+	b, ok := r.table[key]
+	if !ok {
+		return cost
+	}
+	cost += readCost(r.costs, b.Size)
+	cost += r.k.Access(now.Add(cost), b.Region, alloc.PagesFor(r.k, b.Size))
+	return cost
+}
+
+// Delete implements Service.
+func (r *Redis) Delete(key int64) simtime.Duration {
+	now := r.k.Scheduler().Now()
+	cost := r.costs.IndexCost
+	if b, ok := r.table[key]; ok {
+		cost += r.a.Free(now.Add(cost), b)
+		r.stored -= b.Size
+		delete(r.table, key)
+	}
+	return cost
+}
+
+// Query implements Service: insert then read, plus the fixed protocol
+// overhead, jittered as one client-observed latency. The scheduler advances
+// by the query's duration so background machinery interleaves.
+func (r *Redis) Query(key, valueBytes int64) (total, ins, rd simtime.Duration) {
+	s := r.k.Scheduler()
+	ins = r.Insert(key, valueBytes)
+	s.Advance(ins)
+	rd = r.Read(key)
+	s.Advance(rd)
+	overhead := queryOverhead(r.costs, valueBytes)
+	total = workload.JitterRequest(r.k, ins+rd+overhead, r.lastPreMapped)
+	s.Advance(overhead)
+	return total, ins, rd
+}
+
+// Close implements Service. The allocator is owned by the caller; the
+// table is simply dropped.
+func (r *Redis) Close() { r.table = nil }

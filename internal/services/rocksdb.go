@@ -1,0 +1,269 @@
+package services
+
+import (
+	"fmt"
+
+	"github.com/hermes-sim/hermes/internal/alloc"
+	"github.com/hermes-sim/hermes/internal/kernel"
+	"github.com/hermes-sim/hermes/internal/simtime"
+	"github.com/hermes-sim/hermes/internal/workload"
+)
+
+// RocksdbConfig sizes the LSM machinery.
+type RocksdbConfig struct {
+	// MemtableBytes is the write-buffer size; filling it triggers a flush
+	// to a new SST file (a write stall charged to the triggering insert,
+	// as RocksDB stalls writers when the buffer is full).
+	MemtableBytes int64
+	// BlockCacheBytes bounds the allocator-backed read cache.
+	BlockCacheBytes int64
+}
+
+// DefaultRocksdbConfig mirrors a modest RocksDB instance.
+func DefaultRocksdbConfig() RocksdbConfig {
+	return RocksdbConfig{
+		MemtableBytes:   64 << 20,
+		BlockCacheBytes: 128 << 20,
+	}
+}
+
+// Rocksdb models the disk-based LSM store of §5.3: inserts append to a WAL
+// in the page cache and copy into an allocator-backed memtable; full
+// memtables flush to SST files (which then live in the file cache); reads
+// hit the memtable, then the allocator-backed block cache, then the SST
+// files on disk. Its resident set is bounded by memtable+cache, so it
+// leaves more memory for batch jobs than Redis (Table 1 discussion), while
+// its reads share the disk with swap traffic — the source of the
+// tens-of-milliseconds tail under pressure (Fig 10b).
+type Rocksdb struct {
+	k     *kernel.Kernel
+	a     alloc.Allocator
+	costs CostConfig
+	cfg   RocksdbConfig
+
+	memtable map[int64]*alloc.Block
+	memBytes int64
+	wal      *kernel.File
+	walSeq   int
+
+	sstSeq int
+	// sstOf maps a key to the SST file holding its latest flushed value;
+	// valSize remembers record sizes.
+	sstOf   map[int64]*kernel.File
+	valSize map[int64]int64
+
+	cache      map[int64]*alloc.Block
+	cacheBytes int64
+	cacheOrder []int64 // FIFO eviction order (approximates LRU)
+
+	stored        int64
+	flushes       int64
+	lastPreMapped bool
+
+	name string
+}
+
+var _ Service = (*Rocksdb)(nil)
+
+// NewRocksdb creates the store on the given allocator. Files are namespaced
+// by name so several instances can share a kernel.
+func NewRocksdb(k *kernel.Kernel, a alloc.Allocator, costs CostConfig, cfg RocksdbConfig, name string) *Rocksdb {
+	if cfg.MemtableBytes <= 0 || cfg.BlockCacheBytes <= 0 {
+		panic("services: invalid rocksdb config")
+	}
+	r := &Rocksdb{
+		k:        k,
+		a:        a,
+		costs:    costs,
+		cfg:      cfg,
+		memtable: make(map[int64]*alloc.Block),
+		sstOf:    make(map[int64]*kernel.File),
+		valSize:  make(map[int64]int64),
+		cache:    make(map[int64]*alloc.Block),
+		name:     name,
+	}
+	r.wal = k.CreateFile(r.fileName("wal", r.walSeq), 0, r.ownerPID())
+	return r
+}
+
+func (r *Rocksdb) ownerPID() kernel.PID {
+	// The files belong to the service process backing the allocator; the
+	// monitor daemon never touches them because the service is not
+	// registered as a batch job.
+	type procOwner interface{ Process() *kernel.Process }
+	if p, ok := r.a.(procOwner); ok {
+		return p.Process().PID
+	}
+	return 0
+}
+
+func (r *Rocksdb) fileName(kind string, seq int) string {
+	return fmt.Sprintf("%s-%s-%06d", r.name, kind, seq)
+}
+
+// Name implements Service.
+func (r *Rocksdb) Name() string { return "Rocksdb" }
+
+// Allocator implements Service.
+func (r *Rocksdb) Allocator() alloc.Allocator { return r.a }
+
+// StoredBytes implements Service.
+func (r *Rocksdb) StoredBytes() int64 { return r.stored }
+
+// Flushes reports completed memtable flushes (diagnostics).
+func (r *Rocksdb) Flushes() int64 { return r.flushes }
+
+// Insert implements Service: WAL append through the page cache, then an
+// allocator-backed memtable entry. A full memtable flushes synchronously
+// (RocksDB's write stall), writing an SST and freeing the memtable.
+func (r *Rocksdb) Insert(key, valueBytes int64) simtime.Duration {
+	if valueBytes <= 0 {
+		panic(fmt.Sprintf("services: insert of %d bytes", valueBytes))
+	}
+	now := r.k.Scheduler().Now()
+	cost := r.costs.IndexCost
+	cost += r.k.WriteFile(now.Add(cost), r.wal, alloc.PagesFor(r.k, valueBytes), true)
+
+	b, c := r.a.Malloc(now.Add(cost), valueBytes)
+	cost += c
+	cost += r.a.Touch(now.Add(cost), b)
+	cost += copyCost(r.costs, valueBytes)
+	r.lastPreMapped = b.PreMapped
+	if old, ok := r.memtable[key]; ok {
+		cost += r.a.Free(now.Add(cost), old)
+		r.memBytes -= old.Size
+		r.stored -= old.Size
+	}
+	r.memtable[key] = b
+	r.memBytes += valueBytes
+	if _, ok := r.valSize[key]; !ok {
+		r.stored += valueBytes
+	} else if r.sstOf[key] != nil {
+		// overwrite of a flushed record: live size unchanged
+	}
+	r.valSize[key] = valueBytes
+
+	if r.memBytes >= r.cfg.MemtableBytes {
+		cost += r.flush(now.Add(cost))
+	}
+	return cost
+}
+
+// flush writes the memtable out as one SST file, truncates the WAL and
+// releases the memtable blocks.
+func (r *Rocksdb) flush(at simtime.Time) simtime.Duration {
+	r.flushes++
+	r.sstSeq++
+	sst := r.k.CreateFile(r.fileName("sst", r.sstSeq), 0, r.ownerPID())
+	pages := alloc.PagesFor(r.k, r.memBytes)
+	cost := r.k.WriteFile(at, sst, pages, true)
+	cost += r.k.Fsync(at.Add(cost), sst)
+	for key, b := range r.memtable {
+		cost += r.a.Free(at.Add(cost), b)
+		r.sstOf[key] = sst
+		delete(r.memtable, key)
+	}
+	r.memBytes = 0
+	// WAL truncation: drop and recreate.
+	r.k.DeleteFile(r.wal)
+	r.walSeq++
+	r.wal = r.k.CreateFile(r.fileName("wal", r.walSeq), 0, r.ownerPID())
+	return cost
+}
+
+// Read implements Service: memtable, then block cache, then the SST via the
+// page cache/disk, inserting the result into the block cache.
+func (r *Rocksdb) Read(key int64) simtime.Duration {
+	now := r.k.Scheduler().Now()
+	cost := r.costs.IndexCost
+	if b, ok := r.memtable[key]; ok {
+		cost += readCost(r.costs, b.Size)
+		cost += r.k.Access(now.Add(cost), b.Region, alloc.PagesFor(r.k, b.Size))
+		return cost
+	}
+	if b, ok := r.cache[key]; ok {
+		cost += readCost(r.costs, b.Size)
+		cost += r.k.Access(now.Add(cost), b.Region, alloc.PagesFor(r.k, b.Size))
+		return cost
+	}
+	sst, ok := r.sstOf[key]
+	if !ok {
+		return cost
+	}
+	size := r.valSize[key]
+	cost += r.costs.IndexCost // SST index block probe
+	cost += r.k.ReadFile(now.Add(cost), sst, alloc.PagesFor(r.k, size))
+	// Populate the block cache through the allocator.
+	b, c := r.a.Malloc(now.Add(cost), size)
+	cost += c
+	cost += r.a.Touch(now.Add(cost), b)
+	r.cache[key] = b
+	r.cacheBytes += size
+	r.cacheOrder = append(r.cacheOrder, key)
+	cost += readCost(r.costs, size)
+	for r.cacheBytes > r.cfg.BlockCacheBytes && len(r.cacheOrder) > 0 {
+		victim := r.cacheOrder[0]
+		r.cacheOrder = r.cacheOrder[1:]
+		if vb, ok := r.cache[victim]; ok {
+			cost += r.a.Free(now.Add(cost), vb)
+			r.cacheBytes -= vb.Size
+			delete(r.cache, victim)
+		}
+	}
+	return cost
+}
+
+// Delete implements Service: removes the record from every tier (SST data
+// becomes dead and is ignored; compaction is out of scope).
+func (r *Rocksdb) Delete(key int64) simtime.Duration {
+	now := r.k.Scheduler().Now()
+	cost := r.costs.IndexCost
+	if b, ok := r.memtable[key]; ok {
+		cost += r.a.Free(now.Add(cost), b)
+		r.memBytes -= b.Size
+		delete(r.memtable, key)
+	}
+	if b, ok := r.cache[key]; ok {
+		cost += r.a.Free(now.Add(cost), b)
+		r.cacheBytes -= b.Size
+		delete(r.cache, key)
+	}
+	if _, ok := r.valSize[key]; ok {
+		r.stored -= r.valSize[key]
+		delete(r.valSize, key)
+		delete(r.sstOf, key)
+	}
+	return cost
+}
+
+// Query implements Service: insert then read plus fixed overhead, jittered
+// as one client-observed latency.
+func (r *Rocksdb) Query(key, valueBytes int64) (total, ins, rd simtime.Duration) {
+	s := r.k.Scheduler()
+	ins = r.Insert(key, valueBytes)
+	s.Advance(ins)
+	rd = r.Read(key)
+	s.Advance(rd)
+	overhead := queryOverhead(r.costs, valueBytes)
+	total = workload.JitterRequest(r.k, ins+rd+overhead, r.lastPreMapped)
+	s.Advance(overhead)
+	return total, ins, rd
+}
+
+// Close implements Service: SST and WAL files are deleted (their cache
+// returns to the kernel); allocator-backed blocks are dropped with the
+// instance.
+func (r *Rocksdb) Close() {
+	if r.wal != nil && !r.wal.Deleted() {
+		r.k.DeleteFile(r.wal)
+	}
+	seen := make(map[*kernel.File]bool)
+	for _, f := range r.sstOf {
+		if f != nil && !seen[f] && !f.Deleted() {
+			r.k.DeleteFile(f)
+			seen[f] = true
+		}
+	}
+	r.memtable = nil
+	r.cache = nil
+}

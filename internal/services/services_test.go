@@ -1,0 +1,212 @@
+package services
+
+import (
+	"testing"
+
+	"github.com/hermes-sim/hermes/internal/alloc"
+	"github.com/hermes-sim/hermes/internal/alloc/glibcmalloc"
+	"github.com/hermes-sim/hermes/internal/core"
+	"github.com/hermes-sim/hermes/internal/kernel"
+	"github.com/hermes-sim/hermes/internal/simtime"
+)
+
+func newNode(t *testing.T) (*kernel.Kernel, *simtime.Scheduler) {
+	t.Helper()
+	s := simtime.NewScheduler()
+	cfg := kernel.DefaultConfig()
+	cfg.TotalMemory = 2 << 30
+	cfg.SwapBytes = 1 << 30
+	return kernel.New(s, cfg), s
+}
+
+func TestRedisInsertReadDelete(t *testing.T) {
+	k, s := newNode(t)
+	a := glibcmalloc.New(k, "redis", glibcmalloc.DefaultConfig())
+	r := NewRedis(k, a, RedisCosts())
+	defer r.Close()
+
+	if c := r.Insert(1, 1024); c <= 0 {
+		t.Fatal("insert must cost time")
+	}
+	s.Advance(simtime.Microsecond)
+	if r.StoredBytes() != 1024 {
+		t.Fatalf("stored = %d", r.StoredBytes())
+	}
+	if c := r.Read(1); c <= 0 {
+		t.Fatal("read must cost time")
+	}
+	if c := r.Read(999); c <= 0 {
+		t.Fatal("missing-key read still probes the index")
+	}
+	r.Delete(1)
+	if r.StoredBytes() != 0 {
+		t.Fatalf("stored after delete = %d", r.StoredBytes())
+	}
+	st := a.Stats()
+	if st.Mallocs != 1 || st.Frees != 1 {
+		t.Fatalf("allocator stats %+v", st)
+	}
+	k.CheckInvariants()
+}
+
+func TestRedisOverwriteFreesOldValue(t *testing.T) {
+	k, _ := newNode(t)
+	a := glibcmalloc.New(k, "redis", glibcmalloc.DefaultConfig())
+	r := NewRedis(k, a, RedisCosts())
+	defer r.Close()
+	r.Insert(1, 1024)
+	r.Insert(1, 2048)
+	if r.StoredBytes() != 2048 {
+		t.Fatalf("stored = %d, want 2048 after overwrite", r.StoredBytes())
+	}
+	if a.Stats().Frees != 1 {
+		t.Fatal("overwrite must free the old value")
+	}
+}
+
+func TestRedisQuerySplitsInsertAndRead(t *testing.T) {
+	k, _ := newNode(t)
+	a := glibcmalloc.New(k, "redis", glibcmalloc.DefaultConfig())
+	r := NewRedis(k, a, RedisCosts())
+	defer r.Close()
+	total, ins, rd := r.Query(1, 1024)
+	if ins <= 0 || rd <= 0 {
+		t.Fatal("query must report both phases")
+	}
+	if total < ins+rd {
+		t.Fatalf("total %v below ins+read %v (overhead missing)", total, ins+rd)
+	}
+}
+
+func TestRedisWorksOnHermes(t *testing.T) {
+	k, s := newNode(t)
+	h := core.New(k, "redis", core.DefaultConfig())
+	defer h.Close()
+	r := NewRedis(k, h, RedisCosts())
+	defer r.Close()
+	s.Advance(10 * simtime.Millisecond)
+	for i := int64(0); i < 200; i++ {
+		r.Query(i, 1024)
+	}
+	if r.StoredBytes() != 200*1024 {
+		t.Fatalf("stored = %d", r.StoredBytes())
+	}
+	k.CheckInvariants()
+}
+
+func newRocks(t *testing.T) (*Rocksdb, *kernel.Kernel, *simtime.Scheduler) {
+	t.Helper()
+	k, s := newNode(t)
+	a := glibcmalloc.New(k, "rocks", glibcmalloc.DefaultConfig())
+	cfg := DefaultRocksdbConfig()
+	cfg.MemtableBytes = 1 << 20
+	cfg.BlockCacheBytes = 2 << 20
+	r := NewRocksdb(k, a, RocksdbCosts(), cfg, "test")
+	t.Cleanup(r.Close)
+	return r, k, s
+}
+
+func TestRocksdbInsertWritesWALAndMemtable(t *testing.T) {
+	r, k, _ := newRocks(t)
+	if c := r.Insert(1, 4096); c <= 0 {
+		t.Fatal("insert must cost time")
+	}
+	if r.wal.CachedPages() == 0 || r.wal.DirtyPages() == 0 {
+		t.Fatal("insert must dirty the WAL")
+	}
+	if len(r.memtable) != 1 {
+		t.Fatal("record missing from memtable")
+	}
+	k.CheckInvariants()
+}
+
+func TestRocksdbFlushOnFullMemtable(t *testing.T) {
+	r, k, _ := newRocks(t)
+	// 1 MB memtable, 64 KB records → flush every ~16 inserts.
+	for i := int64(0); i < 40; i++ {
+		r.Insert(i, 64<<10)
+	}
+	if r.Flushes() == 0 {
+		t.Fatal("memtable never flushed")
+	}
+	if r.sstSeq == 0 {
+		t.Fatal("no SST created")
+	}
+	// Flushed records remain readable (from SST via block cache).
+	if c := r.Read(0); c <= 0 {
+		t.Fatal("flushed record unreadable")
+	}
+	if len(r.cache) == 0 {
+		t.Fatal("SST read must populate the block cache")
+	}
+	k.CheckInvariants()
+}
+
+func TestRocksdbBlockCacheBounded(t *testing.T) {
+	r, k, _ := newRocks(t)
+	for i := int64(0); i < 64; i++ {
+		r.Insert(i, 64<<10)
+	}
+	// Read everything twice: cache churns but stays bounded.
+	for round := 0; round < 2; round++ {
+		for i := int64(0); i < 64; i++ {
+			r.Read(i)
+		}
+	}
+	if r.cacheBytes > r.cfg.BlockCacheBytes+64<<10 {
+		t.Fatalf("block cache %d exceeds bound %d", r.cacheBytes, r.cfg.BlockCacheBytes)
+	}
+	k.CheckInvariants()
+}
+
+func TestRocksdbSSTReadsShareTheDisk(t *testing.T) {
+	r, k, s := newRocks(t)
+	for i := int64(0); i < 20; i++ {
+		r.Insert(i, 64<<10)
+	}
+	// Drop the SST cache so the next read hits the disk.
+	for _, f := range k.Files() {
+		if f != r.wal {
+			k.FadviseDontNeed(s.Now(), f)
+		}
+	}
+	reads0 := k.Disk().Reads
+	r.cache = map[int64]*alloc.Block{} // empty the block cache
+	r.cacheBytes = 0
+	r.cacheOrder = nil
+	if c := r.Read(0); c < simtime.Millisecond {
+		t.Fatalf("cold SST read cost %v, want disk-scale", c)
+	}
+	if k.Disk().Reads == reads0 {
+		t.Fatal("cold read must hit the disk")
+	}
+}
+
+func TestRocksdbDelete(t *testing.T) {
+	r, k, _ := newRocks(t)
+	r.Insert(1, 4096)
+	r.Delete(1)
+	if r.StoredBytes() != 0 {
+		t.Fatalf("stored = %d after delete", r.StoredBytes())
+	}
+	if c := r.Read(1); c <= 0 {
+		t.Fatal("read of deleted key still probes")
+	}
+	k.CheckInvariants()
+}
+
+func TestRocksdbCloseDropsFiles(t *testing.T) {
+	k, _ := newNode(t)
+	a := glibcmalloc.New(k, "rocks", glibcmalloc.DefaultConfig())
+	cfg := DefaultRocksdbConfig()
+	cfg.MemtableBytes = 1 << 20
+	r := NewRocksdb(k, a, RocksdbCosts(), cfg, "closer")
+	for i := int64(0); i < 40; i++ {
+		r.Insert(i, 64<<10)
+	}
+	r.Close()
+	if len(k.Files()) != 0 {
+		t.Fatalf("%d files left after close", len(k.Files()))
+	}
+	k.CheckInvariants()
+}

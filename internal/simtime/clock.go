@@ -1,0 +1,209 @@
+// Package simtime provides the virtual clock and discrete-event scheduler
+// that every other simulated subsystem is built on.
+//
+// All simulated latencies in this repository are expressed in virtual
+// nanoseconds on a Clock owned by a Scheduler. Determinism is a hard
+// requirement: two runs with the same seed and configuration must produce
+// identical results, so events that fire at the same instant are ordered by
+// a monotonically increasing sequence number assigned at scheduling time.
+package simtime
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Duration is a span of virtual time in nanoseconds. It deliberately mirrors
+// time.Duration so call sites can use the familiar constants
+// (simtime.Millisecond, ...) without importing two time packages.
+type Duration = time.Duration
+
+// Convenience re-exports so simulation code reads naturally.
+const (
+	Nanosecond  = time.Nanosecond
+	Microsecond = time.Microsecond
+	Millisecond = time.Millisecond
+	Second      = time.Second
+	Minute      = time.Minute
+	Hour        = time.Hour
+)
+
+// Time is an instant of virtual time, nanoseconds since simulation start.
+type Time int64
+
+// MaxTime is the largest representable instant; used as the horizon for
+// RunUntil when draining a simulation.
+const MaxTime = Time(math.MaxInt64)
+
+// Add returns the instant d after t.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration from u to t.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Before reports whether t is strictly earlier than u.
+func (t Time) Before(u Time) bool { return t < u }
+
+// After reports whether t is strictly later than u.
+func (t Time) After(u Time) bool { return t > u }
+
+// String renders the instant as a duration since simulation start.
+func (t Time) String() string { return Duration(t).String() }
+
+// Event is a scheduled callback. The callback receives the Scheduler so it
+// can reschedule itself or schedule follow-up work.
+type Event struct {
+	at  Time
+	seq uint64
+	fn  func(*Scheduler)
+
+	// index is maintained by the heap; -1 once popped or cancelled.
+	index int
+}
+
+// At returns the instant the event is scheduled for.
+func (e *Event) At() Time { return e.at }
+
+// eventQueue implements heap.Interface ordered by (at, seq).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Scheduler owns the virtual clock and the pending-event queue. It is not
+// safe for concurrent use: the simulation is single-threaded by design so
+// that results are deterministic.
+type Scheduler struct {
+	now    Time
+	seq    uint64
+	queue  eventQueue
+	inHook bool
+}
+
+// NewScheduler returns a scheduler with the clock at zero and no events.
+func NewScheduler() *Scheduler {
+	return &Scheduler{}
+}
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() Time { return s.now }
+
+// Schedule registers fn to run at instant at. Scheduling in the past is a
+// programming error and panics: allowing it silently would corrupt the
+// causal order of the simulation.
+func (s *Scheduler) Schedule(at Time, fn func(*Scheduler)) *Event {
+	if at < s.now {
+		panic(fmt.Sprintf("simtime: schedule at %v before now %v", at, s.now))
+	}
+	if fn == nil {
+		panic("simtime: nil event callback")
+	}
+	s.seq++
+	e := &Event{at: at, seq: s.seq, fn: fn}
+	heap.Push(&s.queue, e)
+	return e
+}
+
+// ScheduleAfter registers fn to run d after the current instant. Negative
+// delays are clamped to zero.
+func (s *Scheduler) ScheduleAfter(d Duration, fn func(*Scheduler)) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return s.Schedule(s.now.Add(d), fn)
+}
+
+// Cancel removes a pending event. Cancelling an already-fired or
+// already-cancelled event is a no-op, which keeps caller bookkeeping simple.
+func (s *Scheduler) Cancel(e *Event) {
+	if e == nil || e.index < 0 {
+		return
+	}
+	heap.Remove(&s.queue, e.index)
+	e.index = -1
+}
+
+// Pending returns the number of events waiting to fire.
+func (s *Scheduler) Pending() int { return len(s.queue) }
+
+// PeekNext returns the time of the earliest pending event and true, or zero
+// and false when the queue is empty.
+func (s *Scheduler) PeekNext() (Time, bool) {
+	if len(s.queue) == 0 {
+		return 0, false
+	}
+	return s.queue[0].at, true
+}
+
+// RunUntil fires every event scheduled at or before horizon, in causal
+// order, then advances the clock to horizon. It returns the number of events
+// fired. Events may schedule further events; those are honoured if they fall
+// within the horizon.
+func (s *Scheduler) RunUntil(horizon Time) int {
+	if horizon < s.now {
+		panic(fmt.Sprintf("simtime: RunUntil horizon %v before now %v", horizon, s.now))
+	}
+	fired := 0
+	for len(s.queue) > 0 && s.queue[0].at <= horizon {
+		e := heap.Pop(&s.queue).(*Event)
+		s.now = e.at
+		e.fn(s)
+		fired++
+	}
+	s.now = horizon
+	return fired
+}
+
+// Advance moves the clock forward by d, firing any events that fall inside
+// the window. It is the primary way a synchronous actor (such as a simulated
+// process thread computing a request latency) yields to background work.
+func (s *Scheduler) Advance(d Duration) int {
+	return s.RunUntil(s.now.Add(d))
+}
+
+// Drain runs events until the queue is empty or limit events have fired.
+// It returns the number fired. A limit of 0 means no limit; the cap exists
+// so a misbehaving self-rescheduling task cannot hang a test forever.
+func (s *Scheduler) Drain(limit int) int {
+	fired := 0
+	for len(s.queue) > 0 {
+		if limit > 0 && fired >= limit {
+			break
+		}
+		e := heap.Pop(&s.queue).(*Event)
+		s.now = e.at
+		e.fn(s)
+		fired++
+	}
+	return fired
+}

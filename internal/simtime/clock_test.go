@@ -1,0 +1,165 @@
+package simtime
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSchedulerRunsEventsInOrder(t *testing.T) {
+	s := NewScheduler()
+	var got []int
+	s.Schedule(30, func(*Scheduler) { got = append(got, 3) })
+	s.Schedule(10, func(*Scheduler) { got = append(got, 1) })
+	s.Schedule(20, func(*Scheduler) { got = append(got, 2) })
+	if fired := s.RunUntil(100); fired != 3 {
+		t.Fatalf("fired = %d, want 3", fired)
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if s.Now() != 100 {
+		t.Fatalf("now = %v, want 100", s.Now())
+	}
+}
+
+func TestSchedulerTieBreakIsFIFO(t *testing.T) {
+	s := NewScheduler()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.Schedule(5, func(*Scheduler) { got = append(got, i) })
+	}
+	s.RunUntil(5)
+	for i := 0; i < 10; i++ {
+		if got[i] != i {
+			t.Fatalf("same-instant events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestSchedulerEventsCanScheduleWithinHorizon(t *testing.T) {
+	s := NewScheduler()
+	var hits int
+	s.Schedule(10, func(s *Scheduler) {
+		hits++
+		s.Schedule(20, func(*Scheduler) { hits++ })
+		s.Schedule(200, func(*Scheduler) { hits++ }) // beyond horizon
+	})
+	s.RunUntil(100)
+	if hits != 2 {
+		t.Fatalf("hits = %d, want 2 (nested event within horizon must fire)", hits)
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", s.Pending())
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	s := NewScheduler()
+	s.RunUntil(50)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past must panic")
+		}
+	}()
+	s.Schedule(10, func(*Scheduler) {})
+}
+
+func TestCancelPreventsFiring(t *testing.T) {
+	s := NewScheduler()
+	fired := false
+	e := s.Schedule(10, func(*Scheduler) { fired = true })
+	s.Cancel(e)
+	s.Cancel(e) // double-cancel is a no-op
+	s.RunUntil(100)
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestAdvanceMovesClockAndFires(t *testing.T) {
+	s := NewScheduler()
+	var at Time
+	s.ScheduleAfter(7, func(s *Scheduler) { at = s.Now() })
+	s.Advance(10)
+	if at != 7 {
+		t.Fatalf("event fired at %v, want 7", at)
+	}
+	if s.Now() != 10 {
+		t.Fatalf("now = %v, want 10", s.Now())
+	}
+}
+
+func TestDrainLimit(t *testing.T) {
+	s := NewScheduler()
+	count := 0
+	var reschedule func(*Scheduler)
+	reschedule = func(s *Scheduler) {
+		count++
+		s.ScheduleAfter(1, reschedule)
+	}
+	s.ScheduleAfter(1, reschedule)
+	if fired := s.Drain(25); fired != 25 {
+		t.Fatalf("drain fired %d, want 25", fired)
+	}
+	if count != 25 {
+		t.Fatalf("count = %d, want 25", count)
+	}
+}
+
+func TestPeekNext(t *testing.T) {
+	s := NewScheduler()
+	if _, ok := s.PeekNext(); ok {
+		t.Fatal("PeekNext on empty queue must report false")
+	}
+	s.Schedule(42, func(*Scheduler) {})
+	at, ok := s.PeekNext()
+	if !ok || at != 42 {
+		t.Fatalf("PeekNext = (%v,%v), want (42,true)", at, ok)
+	}
+}
+
+// Property: for any set of event times, events fire in nondecreasing time
+// order and the count matches.
+func TestSchedulerOrderProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		s := NewScheduler()
+		var fireTimes []Time
+		for _, d := range delays {
+			at := Time(d)
+			s.Schedule(at, func(s *Scheduler) { fireTimes = append(fireTimes, s.Now()) })
+		}
+		s.RunUntil(MaxTime - 1)
+		if len(fireTimes) != len(delays) {
+			return false
+		}
+		for i := 1; i < len(fireTimes); i++ {
+			if fireTimes[i] < fireTimes[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeHelpers(t *testing.T) {
+	a := Time(100)
+	if a.Add(50) != 150 {
+		t.Fatal("Add broken")
+	}
+	if a.Sub(40) != 60 {
+		t.Fatal("Sub broken")
+	}
+	if !a.Before(101) || a.Before(99) {
+		t.Fatal("Before broken")
+	}
+	if !a.After(99) || a.After(101) {
+		t.Fatal("After broken")
+	}
+}

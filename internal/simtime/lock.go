@@ -1,0 +1,52 @@
+package simtime
+
+// Lock models a mutex in virtual time. It is *not* a concurrency primitive —
+// the simulation is single-threaded — it is an accounting device: it records
+// until what instant a simulated thread holds a resource so another simulated
+// thread arriving earlier must wait.
+//
+// This is how the paper's central contention effect is reproduced: the heap
+// management thread holds the program-break lock while it expands the heap
+// and constructs virtual-physical mappings; a malloc arriving in that window
+// is delayed until the hold expires (paper Fig. 6).
+type Lock struct {
+	heldUntil Time
+	holds     int64
+	waits     int64
+	waited    Duration
+}
+
+// AcquireAt returns the instant the lock becomes available to a requester
+// arriving at instant at, recording wait statistics. The caller is expected
+// to then call HoldUntil with its release time.
+func (l *Lock) AcquireAt(at Time) Time {
+	l.holds++
+	if l.heldUntil > at {
+		l.waits++
+		l.waited += l.heldUntil.Sub(at)
+		return l.heldUntil
+	}
+	return at
+}
+
+// HoldUntil marks the lock as held until instant t. Calls with an earlier
+// t than the current hold are ignored: a nested, shorter hold cannot shorten
+// the outer critical section.
+func (l *Lock) HoldUntil(t Time) {
+	if t > l.heldUntil {
+		l.heldUntil = t
+	}
+}
+
+// HeldAt reports whether the lock is held at instant at.
+func (l *Lock) HeldAt(at Time) bool { return l.heldUntil > at }
+
+// HeldUntil returns the instant the current hold expires.
+func (l *Lock) HeldUntil() Time { return l.heldUntil }
+
+// Contention returns (number of acquisitions that had to wait, total time
+// waited). Used in tests to verify the gradual-reservation claim: small
+// reservation chunks bound the wait a competing malloc experiences.
+func (l *Lock) Contention() (waits int64, waited Duration) {
+	return l.waits, l.waited
+}

@@ -1,0 +1,47 @@
+package simtime
+
+import "testing"
+
+func TestLockUncontendedAcquire(t *testing.T) {
+	var l Lock
+	if got := l.AcquireAt(100); got != 100 {
+		t.Fatalf("acquire = %v, want 100", got)
+	}
+	waits, waited := l.Contention()
+	if waits != 0 || waited != 0 {
+		t.Fatalf("contention = (%d,%v), want (0,0)", waits, waited)
+	}
+}
+
+func TestLockContendedAcquireWaits(t *testing.T) {
+	var l Lock
+	l.AcquireAt(0)
+	l.HoldUntil(50)
+	if got := l.AcquireAt(30); got != 50 {
+		t.Fatalf("acquire during hold = %v, want 50", got)
+	}
+	waits, waited := l.Contention()
+	if waits != 1 || waited != 20 {
+		t.Fatalf("contention = (%d,%v), want (1,20)", waits, waited)
+	}
+}
+
+func TestLockHoldUntilNeverShrinks(t *testing.T) {
+	var l Lock
+	l.HoldUntil(100)
+	l.HoldUntil(60)
+	if got := l.HeldUntil(); got != 100 {
+		t.Fatalf("heldUntil = %v, want 100", got)
+	}
+}
+
+func TestLockHeldAt(t *testing.T) {
+	var l Lock
+	l.HoldUntil(10)
+	if !l.HeldAt(5) {
+		t.Fatal("lock should be held at 5")
+	}
+	if l.HeldAt(10) {
+		t.Fatal("lock should be free at its expiry instant")
+	}
+}

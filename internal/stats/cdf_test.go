@@ -1,0 +1,115 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCDFShape(t *testing.T) {
+	r := NewRecorder("x")
+	for i := 1; i <= 1000; i++ {
+		r.Record(time.Duration(i))
+	}
+	points := r.CDF(100)
+	if len(points) != 100 {
+		t.Fatalf("len = %d, want 100", len(points))
+	}
+	// Fractions strictly increase, latencies nondecreasing.
+	for i := 1; i < len(points); i++ {
+		if points[i].Fraction <= points[i-1].Fraction {
+			t.Fatal("fractions must strictly increase")
+		}
+		if points[i].Latency < points[i-1].Latency {
+			t.Fatal("latencies must be nondecreasing")
+		}
+	}
+	last := points[len(points)-1]
+	if last.Fraction != 1.0 || last.Latency != 1000 {
+		t.Fatalf("last point = %+v, want (1000, 1.0)", last)
+	}
+}
+
+func TestCDFEmptyAndDegenerate(t *testing.T) {
+	r := NewRecorder("x")
+	if pts := r.CDF(10); pts != nil {
+		t.Fatal("CDF of empty recorder must be nil")
+	}
+	r.Record(5)
+	if pts := r.CDF(0); pts != nil {
+		t.Fatal("CDF with n=0 must be nil")
+	}
+	pts := r.CDF(4)
+	for _, p := range pts {
+		if p.Latency != 5 {
+			t.Fatalf("single-sample CDF latency = %v, want 5", p.Latency)
+		}
+	}
+}
+
+func TestTailCDF(t *testing.T) {
+	r := NewRecorder("x")
+	for i := 1; i <= 1000; i++ {
+		r.Record(time.Duration(i))
+	}
+	points := r.TailCDF(0.90, 10)
+	if len(points) != 10 {
+		t.Fatalf("len = %d, want 10", len(points))
+	}
+	if points[0].Fraction != 0.90 {
+		t.Fatalf("first fraction = %v, want 0.90", points[0].Fraction)
+	}
+	if points[len(points)-1].Fraction != 1.0 {
+		t.Fatalf("last fraction = %v, want 1.0", points[len(points)-1].Fraction)
+	}
+	if points[0].Latency < 890 || points[0].Latency > 910 {
+		t.Fatalf("p90 latency = %v, want ~900", points[0].Latency)
+	}
+}
+
+func TestTailCDFInvalidArgs(t *testing.T) {
+	r := NewRecorder("x")
+	r.Record(1)
+	if r.TailCDF(-0.1, 5) != nil || r.TailCDF(1.0, 5) != nil || r.TailCDF(0.5, 0) != nil {
+		t.Fatal("invalid TailCDF args must return nil")
+	}
+}
+
+func TestRenderCDFTable(t *testing.T) {
+	r1 := NewRecorder("Hermes")
+	r2 := NewRecorder("Glibc")
+	for i := 1; i <= 100; i++ {
+		r1.Record(time.Duration(i))
+		r2.Record(time.Duration(i * 2))
+	}
+	series := map[string][]CDFPoint{
+		"Hermes": r1.CDF(100),
+		"Glibc":  r2.CDF(100),
+	}
+	out := RenderCDFTable("Fig X", []float64{0.5, 0.99}, series, []string{"Hermes", "Glibc"})
+	if !strings.Contains(out, "Fig X") || !strings.Contains(out, "Hermes") || !strings.Contains(out, "Glibc") {
+		t.Fatalf("table missing headers:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 { // title, header, 2 fraction rows -> actually 4
+		if len(lines) != 4 {
+			t.Fatalf("table has %d lines:\n%s", len(lines), out)
+		}
+	}
+}
+
+func TestLookupCDF(t *testing.T) {
+	points := []CDFPoint{{Latency: 10, Fraction: 0.5}, {Latency: 20, Fraction: 1.0}}
+	if got := lookupCDF(points, 0.4); got != 10 {
+		t.Fatalf("lookup 0.4 = %v, want 10", got)
+	}
+	if got := lookupCDF(points, 0.9); got != 20 {
+		t.Fatalf("lookup 0.9 = %v, want 20", got)
+	}
+	if got := lookupCDF(points, 1.5); got != 20 {
+		t.Fatalf("lookup beyond end = %v, want last latency", got)
+	}
+	if got := lookupCDF(nil, 0.5); got != 0 {
+		t.Fatalf("lookup empty = %v, want 0", got)
+	}
+}

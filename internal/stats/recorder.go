@@ -1,0 +1,193 @@
+// Package stats provides the latency-statistics machinery used by every
+// experiment: sample recording, percentile extraction, CDF export in the
+// exact shapes the paper plots, and SLO-violation accounting.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Recorder accumulates latency samples. Experiments record at most a few
+// million samples, so the recorder keeps the raw values: exact percentiles
+// matter more here than memory, and raw samples also let tests assert CDF
+// shapes directly.
+type Recorder struct {
+	name    string
+	samples []time.Duration
+	sorted  bool
+	sum     time.Duration
+}
+
+// NewRecorder returns an empty recorder labelled name (used in rendered
+// tables, e.g. "Hermes+anon").
+func NewRecorder(name string) *Recorder {
+	return &Recorder{name: name}
+}
+
+// Name returns the recorder's label.
+func (r *Recorder) Name() string { return r.name }
+
+// Record appends one latency sample. Negative samples indicate a bug in the
+// cost model and panic rather than silently skewing percentiles.
+func (r *Recorder) Record(d time.Duration) {
+	if d < 0 {
+		panic(fmt.Sprintf("stats: negative latency sample %v in %q", d, r.name))
+	}
+	r.samples = append(r.samples, d)
+	r.sorted = false
+	r.sum += d
+}
+
+// Count returns the number of recorded samples.
+func (r *Recorder) Count() int { return len(r.samples) }
+
+// Mean returns the average sample, or 0 when empty.
+func (r *Recorder) Mean() time.Duration {
+	if len(r.samples) == 0 {
+		return 0
+	}
+	return r.sum / time.Duration(len(r.samples))
+}
+
+// Total returns the sum of all samples.
+func (r *Recorder) Total() time.Duration { return r.sum }
+
+func (r *Recorder) ensureSorted() {
+	if r.sorted {
+		return
+	}
+	sort.Slice(r.samples, func(i, j int) bool { return r.samples[i] < r.samples[j] })
+	r.sorted = true
+}
+
+// Percentile returns the q-th percentile (q in [0,100]) using linear
+// interpolation between closest ranks, matching numpy's default, which is
+// what the paper's plotting scripts would have used.
+func (r *Recorder) Percentile(q float64) time.Duration {
+	if len(r.samples) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 100 {
+		q = 100
+	}
+	r.ensureSorted()
+	if len(r.samples) == 1 {
+		return r.samples[0]
+	}
+	rank := q / 100 * float64(len(r.samples)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return r.samples[lo]
+	}
+	frac := rank - float64(lo)
+	return r.samples[lo] + time.Duration(frac*float64(r.samples[hi]-r.samples[lo]))
+}
+
+// Max returns the largest sample, or 0 when empty.
+func (r *Recorder) Max() time.Duration {
+	if len(r.samples) == 0 {
+		return 0
+	}
+	r.ensureSorted()
+	return r.samples[len(r.samples)-1]
+}
+
+// Min returns the smallest sample, or 0 when empty.
+func (r *Recorder) Min() time.Duration {
+	if len(r.samples) == 0 {
+		return 0
+	}
+	r.ensureSorted()
+	return r.samples[0]
+}
+
+// ViolationRatio returns the fraction of samples strictly above slo — the
+// paper's SLO-violation metric (Figs 13, 14).
+func (r *Recorder) ViolationRatio(slo time.Duration) float64 {
+	if len(r.samples) == 0 {
+		return 0
+	}
+	r.ensureSorted()
+	// First index with sample > slo.
+	idx := sort.Search(len(r.samples), func(i int) bool { return r.samples[i] > slo })
+	return float64(len(r.samples)-idx) / float64(len(r.samples))
+}
+
+// Summary is the fixed set of statistics the paper reports per series:
+// average plus the p75/p90/p95/p99 percentiles (Figs 2, 7d, 8d, 15, 16).
+type Summary struct {
+	Name  string
+	Count int
+	Mean  time.Duration
+	P50   time.Duration
+	P75   time.Duration
+	P90   time.Duration
+	P95   time.Duration
+	P99   time.Duration
+	Max   time.Duration
+}
+
+// Summarize extracts the paper's standard percentile set.
+func (r *Recorder) Summarize() Summary {
+	return Summary{
+		Name:  r.name,
+		Count: len(r.samples),
+		Mean:  r.Mean(),
+		P50:   r.Percentile(50),
+		P75:   r.Percentile(75),
+		P90:   r.Percentile(90),
+		P95:   r.Percentile(95),
+		P99:   r.Percentile(99),
+		Max:   r.Max(),
+	}
+}
+
+// String renders the summary as one table row.
+func (s Summary) String() string {
+	return fmt.Sprintf("%-24s n=%-8d avg=%-10v p50=%-10v p75=%-10v p90=%-10v p95=%-10v p99=%-10v max=%v",
+		s.Name, s.Count, s.Mean, s.P50, s.P75, s.P90, s.P95, s.P99, s.Max)
+}
+
+// At returns the statistic named by key ("avg", "p75", ...). Unknown keys
+// panic: they indicate a typo in an experiment definition, not runtime input.
+func (s Summary) At(key string) time.Duration {
+	switch key {
+	case "avg", "mean":
+		return s.Mean
+	case "p50":
+		return s.P50
+	case "p75":
+		return s.P75
+	case "p90":
+		return s.P90
+	case "p95":
+		return s.P95
+	case "p99":
+		return s.P99
+	case "max":
+		return s.Max
+	default:
+		panic(fmt.Sprintf("stats: unknown summary key %q", key))
+	}
+}
+
+// PercentileKeys is the ordering the paper uses on its bar charts.
+var PercentileKeys = []string{"avg", "p75", "p90", "p95", "p99"}
+
+// Reduction returns the percentage reduction of new relative to base for the
+// given summary key, the y-axis of Figs 7d, 8d, 15, 16. Positive means new
+// is faster.
+func Reduction(base, new Summary, key string) float64 {
+	b := base.At(key)
+	if b == 0 {
+		return 0
+	}
+	return (1 - float64(new.At(key))/float64(b)) * 100
+}

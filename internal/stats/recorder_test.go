@@ -1,0 +1,240 @@
+package stats
+
+import (
+	"math/rand/v2"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestRecorderBasics(t *testing.T) {
+	r := NewRecorder("x")
+	if r.Count() != 0 || r.Mean() != 0 || r.Max() != 0 || r.Min() != 0 {
+		t.Fatal("empty recorder must report zeros")
+	}
+	for _, d := range []time.Duration{10, 20, 30} {
+		r.Record(d)
+	}
+	if r.Count() != 3 {
+		t.Fatalf("count = %d", r.Count())
+	}
+	if r.Mean() != 20 {
+		t.Fatalf("mean = %v, want 20", r.Mean())
+	}
+	if r.Min() != 10 || r.Max() != 30 {
+		t.Fatalf("min/max = %v/%v", r.Min(), r.Max())
+	}
+	if r.Total() != 60 {
+		t.Fatalf("total = %v", r.Total())
+	}
+}
+
+func TestRecorderNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative sample must panic")
+		}
+	}()
+	NewRecorder("x").Record(-1)
+}
+
+func TestPercentileExactValues(t *testing.T) {
+	r := NewRecorder("x")
+	// 1..100 → p-th percentile interpolates cleanly.
+	for i := 1; i <= 100; i++ {
+		r.Record(time.Duration(i))
+	}
+	tests := []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0, 1},
+		{100, 100},
+		{50, 50}, // rank 49.5 → 50.5 truncated by Duration math
+		{99, 99},
+	}
+	for _, tc := range tests {
+		got := r.Percentile(tc.q)
+		if got < tc.want-1 || got > tc.want+1 {
+			t.Errorf("p%v = %v, want ~%v", tc.q, got, tc.want)
+		}
+	}
+}
+
+func TestPercentileSingleSample(t *testing.T) {
+	r := NewRecorder("x")
+	r.Record(42)
+	for _, q := range []float64{0, 50, 99, 100} {
+		if got := r.Percentile(q); got != 42 {
+			t.Fatalf("p%v = %v, want 42", q, got)
+		}
+	}
+}
+
+func TestPercentileClampsQ(t *testing.T) {
+	r := NewRecorder("x")
+	r.Record(1)
+	r.Record(2)
+	if r.Percentile(-5) != 1 {
+		t.Fatal("q<0 must clamp to min")
+	}
+	if r.Percentile(150) != 2 {
+		t.Fatal("q>100 must clamp to max")
+	}
+}
+
+func TestRecordAfterPercentileKeepsCorrectness(t *testing.T) {
+	r := NewRecorder("x")
+	r.Record(10)
+	_ = r.Percentile(50) // forces a sort
+	r.Record(5)          // must invalidate sorted state
+	if r.Min() != 5 {
+		t.Fatalf("min = %v, want 5", r.Min())
+	}
+}
+
+func TestViolationRatio(t *testing.T) {
+	r := NewRecorder("x")
+	for i := 1; i <= 10; i++ {
+		r.Record(time.Duration(i * 100))
+	}
+	tests := []struct {
+		slo  time.Duration
+		want float64
+	}{
+		{1000, 0},  // nothing above max
+		{0, 1},     // everything above zero
+		{500, 0.5}, // 600..1000 violate
+		{550, 0.5}, // boundary between samples
+		{100, 0.9}, // only the first meets it (ties do not violate)
+		{99, 1.0},  // all violate
+		{999, 0.1}, // only 1000 violates
+	}
+	for _, tc := range tests {
+		if got := r.ViolationRatio(tc.slo); got != tc.want {
+			t.Errorf("ViolationRatio(%v) = %v, want %v", tc.slo, got, tc.want)
+		}
+	}
+}
+
+func TestSummaryAtAndKeys(t *testing.T) {
+	r := NewRecorder("series")
+	for i := 1; i <= 1000; i++ {
+		r.Record(time.Duration(i))
+	}
+	s := r.Summarize()
+	if s.Name != "series" || s.Count != 1000 {
+		t.Fatalf("summary header wrong: %+v", s)
+	}
+	for _, key := range PercentileKeys {
+		if s.At(key) <= 0 {
+			t.Errorf("At(%q) = %v, want > 0", key, s.At(key))
+		}
+	}
+	if s.At("p50") != s.P50 || s.At("max") != s.Max {
+		t.Fatal("At() disagrees with fields")
+	}
+	// Percentiles must be monotone.
+	if !(s.P50 <= s.P75 && s.P75 <= s.P90 && s.P90 <= s.P95 && s.P95 <= s.P99 && s.P99 <= s.Max) {
+		t.Fatalf("percentiles not monotone: %+v", s)
+	}
+}
+
+func TestSummaryAtUnknownKeyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown key must panic")
+		}
+	}()
+	Summary{}.At("p12")
+}
+
+func TestReduction(t *testing.T) {
+	base := Summary{Mean: 100}
+	improved := Summary{Mean: 60}
+	if got := Reduction(base, improved, "avg"); got != 40 {
+		t.Fatalf("reduction = %v, want 40", got)
+	}
+	worse := Summary{Mean: 150}
+	if got := Reduction(base, worse, "avg"); got != -50 {
+		t.Fatalf("reduction = %v, want -50", got)
+	}
+	if got := Reduction(Summary{}, improved, "avg"); got != 0 {
+		t.Fatalf("reduction with zero base = %v, want 0", got)
+	}
+}
+
+// Property: percentile is monotone in q and bounded by [min, max].
+func TestPercentileMonotoneProperty(t *testing.T) {
+	f := func(raw []uint32, qa, qb uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		r := NewRecorder("p")
+		for _, v := range raw {
+			r.Record(time.Duration(v))
+		}
+		lo, hi := float64(qa%101), float64(qb%101)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		pa, pb := r.Percentile(lo), r.Percentile(hi)
+		return pa <= pb && pa >= r.Min() && pb <= r.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ViolationRatio equals the brute-force count for random data.
+func TestViolationRatioMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 7))
+	for trial := 0; trial < 50; trial++ {
+		r := NewRecorder("v")
+		var vals []time.Duration
+		n := 1 + rng.IntN(200)
+		for i := 0; i < n; i++ {
+			d := time.Duration(rng.IntN(1000))
+			vals = append(vals, d)
+			r.Record(d)
+		}
+		slo := time.Duration(rng.IntN(1000))
+		var above int
+		for _, v := range vals {
+			if v > slo {
+				above++
+			}
+		}
+		want := float64(above) / float64(n)
+		if got := r.ViolationRatio(slo); got != want {
+			t.Fatalf("trial %d: ViolationRatio(%v) = %v, want %v", trial, slo, got, want)
+		}
+	}
+}
+
+// Property: mean lies within [min, max].
+func TestMeanBoundedProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		r := NewRecorder("m")
+		for _, v := range raw {
+			r.Record(time.Duration(v))
+		}
+		return r.Mean() >= r.Min() && r.Mean() <= r.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummaryStringContainsName(t *testing.T) {
+	r := NewRecorder("Hermes+anon")
+	r.Record(time.Microsecond)
+	s := r.Summarize().String()
+	if !strings.Contains(s, "Hermes+anon") {
+		t.Fatalf("summary string %q lacks series name", s)
+	}
+}

@@ -1,0 +1,95 @@
+// Package workload implements the paper's workload generators (§5.1): the
+// micro-benchmark that streams fixed-size malloc+write requests, and the
+// anonymous-page and file-cache pressure generators that reproduce the two
+// memory-pressure regimes of Figure 3.
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/hermes-sim/hermes/internal/alloc"
+	"github.com/hermes-sim/hermes/internal/kernel"
+	"github.com/hermes-sim/hermes/internal/simtime"
+	"github.com/hermes-sim/hermes/internal/stats"
+)
+
+// Jitter applies the cost model's measurement noise and the ambient
+// reclaim slowdown to a latency: multiplicative log-normal spread, rare
+// scheduling spikes, and the uniform 1+AmbientFactor inflation while
+// reclaim is active. It is what gives simulated CDFs the smooth support of
+// the measured ones instead of a handful of discrete steps.
+func Jitter(k *kernel.Kernel, d simtime.Duration) simtime.Duration {
+	return jitter(k, d, true)
+}
+
+// JitterRequest is Jitter for one allocation request: requests served
+// entirely from pre-mapped memory (Hermes reservations, allocator caches of
+// resident memory) complete in user space without entering the kernel, so
+// the ambient reclaim slowdown does not apply to them — the mechanism
+// behind Hermes' latency staying near its dedicated-system level even under
+// pressure (Figs 7b, 8b).
+func JitterRequest(k *kernel.Kernel, d simtime.Duration, preMapped bool) simtime.Duration {
+	return jitter(k, d, !preMapped)
+}
+
+func jitter(k *kernel.Kernel, d simtime.Duration, ambient bool) simtime.Duration {
+	costs := k.Costs()
+	rng := k.RNG()
+	out := d
+	if ambient {
+		out = simtime.Duration(float64(out) * (1 + k.AmbientFactor(k.Scheduler().Now())))
+	}
+	if costs.JitterSigma > 0 {
+		out = simtime.Duration(float64(out) * math.Exp(rng.NormFloat64()*costs.JitterSigma))
+	}
+	if costs.JitterSpikeProb > 0 && rng.Float64() < costs.JitterSpikeProb {
+		out += costs.JitterSpikeCost
+	}
+	if out < 0 {
+		out = 0
+	}
+	return out
+}
+
+// MicroBenchConfig describes one micro-benchmark run: fixed-size requests
+// until TotalBytes have been requested (§5.2 uses 1 KB and 256 KB requests
+// to 1 GB).
+type MicroBenchConfig struct {
+	RequestSize int64
+	TotalBytes  int64
+	// FreeBlocks controls whether the benchmark frees what it allocates;
+	// the paper's micro-benchmark only allocates.
+	FreeBlocks bool
+}
+
+func (c MicroBenchConfig) validate() error {
+	if c.RequestSize <= 0 || c.TotalBytes < c.RequestSize {
+		return fmt.Errorf("workload: bad micro-benchmark config %+v", c)
+	}
+	return nil
+}
+
+// RunMicroBench drives the allocator with the configured request stream,
+// recording each request's malloc+write latency (the paper's "memory
+// allocation latency") into rec. The scheduler advances by each request's
+// latency, so background work (management thread, kswapd, pressure
+// generators) interleaves realistically.
+func RunMicroBench(k *kernel.Kernel, a alloc.Allocator, cfg MicroBenchConfig, rec *stats.Recorder) {
+	if err := cfg.validate(); err != nil {
+		panic(err)
+	}
+	s := k.Scheduler()
+	var requested int64
+	for requested < cfg.TotalBytes {
+		b, mallocCost := a.Malloc(s.Now(), cfg.RequestSize)
+		touchCost := a.Touch(s.Now().Add(mallocCost), b)
+		lat := JitterRequest(k, mallocCost+touchCost, b.PreMapped)
+		rec.Record(lat)
+		s.Advance(lat)
+		if cfg.FreeBlocks {
+			s.Advance(a.Free(s.Now(), b))
+		}
+		requested += cfg.RequestSize
+	}
+}
