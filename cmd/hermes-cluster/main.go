@@ -1,0 +1,117 @@
+// hermes-cluster drives a sharded multi-node cluster simulation with an
+// open-loop keyed workload and prints per-shard, per-node and cluster-wide
+// latency digests. With several -allocators it repeats the identical
+// scenario per allocator, the paper's comparison at cluster scale.
+//
+// Usage:
+//
+//	hermes-cluster [-nodes 8] [-shards 16] [-allocators glibc,hermes]
+//	               [-service redis|rocksdb] [-requests 1000000] [-rate 50000]
+//	               [-keys 100000] [-zipf 1.1] [-reads 0.5] [-value 1024]
+//	               [-pressure none|anon|file] [-free-mb 300] [-mem-gb 8]
+//	               [-daemon] [-seed 1] [-per-shard]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	hermes "github.com/hermes-sim/hermes"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "hermes-cluster:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	nodes := flag.Int("nodes", 8, "node count")
+	shards := flag.Int("shards", 16, "service-shard count")
+	replicas := flag.Int("replicas", 64, "virtual nodes per machine on the hash ring")
+	allocators := flag.String("allocators", "glibc,hermes", "comma-separated allocator kinds: glibc,jemalloc,tcmalloc,hermes")
+	service := flag.String("service", "redis", "service kind: redis or rocksdb")
+	requests := flag.Int64("requests", 1_000_000, "total requests")
+	rate := flag.Float64("rate", 50_000, "mean arrival rate, requests per virtual second")
+	keys := flag.Int64("keys", 100_000, "key-space size")
+	zipf := flag.Float64("zipf", 1.1, "Zipf key-skew exponent (>1), or 0 for uniform keys")
+	reads := flag.Float64("reads", 0.5, "read fraction of the request mix")
+	value := flag.Int64("value", 1024, "write payload bytes")
+	pressure := flag.String("pressure", "none", "per-node co-tenant pressure: none, anon or file")
+	freeMB := flag.Int64("free-mb", 300, "residual free memory the pressure fill leaves per node, MB")
+	memGB := flag.Int64("mem-gb", 8, "memory per node, GB")
+	daemon := flag.Bool("daemon", false, "run the monitor daemon per node (hermes only)")
+	seed := flag.Uint64("seed", 1, "determinism seed")
+	perShard := flag.Bool("per-shard", false, "print per-shard digests")
+	flag.Parse()
+
+	cfg := hermes.DefaultClusterConfig()
+	cfg.Nodes = *nodes
+	cfg.Shards = *shards
+	cfg.Replicas = *replicas
+	cfg.ServiceKind = hermes.ServiceKind(*service)
+	cfg.Kernel.TotalMemory = *memGB << 30
+	cfg.Kernel.SwapBytes = *memGB << 30
+	cfg.Seed = *seed
+	switch *pressure {
+	case "none":
+	case "anon", "file":
+		kind := hermes.PressureAnon
+		if *pressure == "file" {
+			kind = hermes.PressureFile
+		}
+		p := hermes.DefaultPressureConfig(kind)
+		p.FreeBytes = *freeMB << 20
+		cfg.Pressure = &p
+	default:
+		return fmt.Errorf("unknown pressure kind %q", *pressure)
+	}
+	if *daemon {
+		d := hermes.DefaultDaemonConfig()
+		cfg.Daemon = &d
+	}
+
+	load := hermes.DefaultLoadConfig()
+	load.Requests = *requests
+	load.RatePerSec = *rate
+	load.Keys = *keys
+	load.ZipfS = *zipf
+	load.ReadFraction = *reads
+	load.ValueBytes = *value
+	load.Seed = *seed
+	if err := load.Validate(); err != nil {
+		return err
+	}
+
+	fmt.Printf("hermes-cluster nodes=%d shards=%d service=%s pressure=%s seed=%d\n",
+		*nodes, *shards, *service, *pressure, *seed)
+	fmt.Printf("load: %d requests at %.0f req/s, %d keys (zipf=%.2f), %.0f%% reads, %dB values\n\n",
+		*requests, *rate, *keys, *zipf, *reads*100, *value)
+
+	for _, name := range strings.Split(*allocators, ",") {
+		cfg.Allocator = hermes.AllocatorKind(strings.TrimSpace(name))
+		if err := cfg.Validate(); err != nil {
+			return err
+		}
+		start := time.Now()
+		c := hermes.NewCluster(cfg)
+		rep := c.Run(load)
+		c.Close()
+		fmt.Printf("=== %s (wall %v) ===\n", cfg.Allocator, time.Since(start).Round(time.Millisecond))
+		if *perShard {
+			fmt.Println(rep.Render())
+			continue
+		}
+		fmt.Printf("%v\n%v\nper node:\n", rep.Cluster, rep.Wait)
+		for _, n := range rep.PerNode {
+			fmt.Printf("  %s  shards=%-3d reclaims=%-6d swapouts=%-8d %v\n",
+				n.Name, n.Shards, n.Kernel.DirectReclaims, n.Kernel.PagesSwapOut, n.Latency)
+		}
+		fmt.Println()
+	}
+	return nil
+}

@@ -1,0 +1,3 @@
+module github.com/hermes-sim/hermes
+
+go 1.22

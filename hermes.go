@@ -17,6 +17,14 @@
 // Every figure and table of the paper regenerates through the Experiments
 // entry points (Fig2 … Fig16, Table1); see EXPERIMENTS.md for the
 // paper-vs-measured record.
+//
+// Beyond the single-node evaluation, the cluster layer scales the
+// simulation to a fleet: NewCluster boots N nodes with service shards
+// placed by a consistent-hashing ShardRouter, and Cluster.Run drives them
+// with an open-loop keyed workload (configurable arrival rate, Zipf key
+// skew, read/write mix), producing per-shard, per-node and cluster-wide
+// latency digests — deterministically, so one seed reproduces a whole
+// cluster run. See docs/ARCHITECTURE.md for the layering.
 package hermes
 
 import (
@@ -24,6 +32,8 @@ import (
 	"github.com/hermes-sim/hermes/internal/alloc/glibcmalloc"
 	"github.com/hermes-sim/hermes/internal/alloc/jemalloc"
 	"github.com/hermes-sim/hermes/internal/alloc/tcmalloc"
+	"github.com/hermes-sim/hermes/internal/batch"
+	"github.com/hermes-sim/hermes/internal/cluster"
 	"github.com/hermes-sim/hermes/internal/core"
 	"github.com/hermes-sim/hermes/internal/kernel"
 	"github.com/hermes-sim/hermes/internal/monitor"
@@ -67,6 +77,8 @@ type (
 	Pressure = workload.Pressure
 	// PressureConfig tunes a generator.
 	PressureConfig = workload.PressureConfig
+	// BatchConfig tunes a node's churning batch-job co-tenants.
+	BatchConfig = batch.Config
 
 	// Recorder accumulates latency samples; Summary is its percentile
 	// digest.
@@ -78,6 +90,41 @@ type (
 	KernelConfig = kernel.Config
 	// CostModel is the virtual-time cost table.
 	CostModel = kernel.CostModel
+
+	// Cluster is a fleet of simulated nodes with sharded services on one
+	// virtual timeline; ClusterConfig describes it and ClusterReport is a
+	// run's digest.
+	Cluster = cluster.Cluster
+	// ClusterConfig configures a cluster (nodes, shards, allocator,
+	// service, optional per-node pressure and daemon).
+	ClusterConfig = cluster.Config
+	// ClusterNode is one machine of a cluster.
+	ClusterNode = cluster.Node
+	// ClusterReport digests one cluster run (cluster-wide, per-node and
+	// per-shard latency summaries).
+	ClusterReport = cluster.Report
+	// ShardRouter is the consistent-hashing key→shard→node router.
+	ShardRouter = cluster.ShardRouter
+	// AllocatorKind names one of the four malloc libraries.
+	AllocatorKind = cluster.AllocatorKind
+	// ServiceKind names one of the two services.
+	ServiceKind = cluster.ServiceKind
+
+	// LoadConfig tunes the open-loop cluster workload generator;
+	// LoadDriver is the generator and Request one generated request.
+	LoadConfig = workload.LoadConfig
+	LoadDriver = workload.LoadDriver
+	Request    = workload.Request
+)
+
+// Allocator and service kinds for ClusterConfig.
+const (
+	AllocGlibc     = cluster.AllocGlibc
+	AllocJemalloc  = cluster.AllocJemalloc
+	AllocTCMalloc  = cluster.AllocTCMalloc
+	AllocHermes    = cluster.AllocHermes
+	ServiceRedis   = cluster.ServiceRedis
+	ServiceRocksdb = cluster.ServiceRocksdb
 )
 
 // Pressure kinds (Figure 3's two regimes).
@@ -97,6 +144,10 @@ func DefaultDaemonConfig() DaemonConfig { return monitor.DefaultConfig() }
 func DefaultPressureConfig(kind workload.PressureKind) PressureConfig {
 	return workload.DefaultPressureConfig(kind)
 }
+
+// DefaultBatchConfig returns the paper's co-location batch workload shape;
+// set TargetBytes to the desired pressure level × node memory.
+func DefaultBatchConfig() BatchConfig { return batch.DefaultConfig() }
 
 // NodeConfig describes a simulated node.
 type NodeConfig struct {
@@ -201,3 +252,25 @@ func (n *Node) RunMicroBench(a Allocator, requestSize, totalBytes int64, rec *Re
 
 // NewRecorder creates a latency recorder labelled name.
 func NewRecorder(name string) *Recorder { return stats.NewRecorder(name) }
+
+// NewCluster boots a fleet of simulated nodes with the configured shard
+// placement; drive it with Cluster.Run. Close releases every node's
+// background machinery.
+func NewCluster(cfg ClusterConfig) *Cluster { return cluster.New(cfg) }
+
+// DefaultClusterConfig returns an 8-node, 16-shard Redis cluster of 8 GB
+// machines on the Glibc allocator.
+func DefaultClusterConfig() ClusterConfig { return cluster.DefaultConfig() }
+
+// DefaultLoadConfig returns the default open-loop stream: 1 M requests at
+// 50 k req/s, 100 k keys with mild Zipf skew, half reads, 1 KB values.
+func DefaultLoadConfig() LoadConfig { return workload.DefaultLoadConfig() }
+
+// NewShardRouter builds a consistent-hashing router over the named nodes.
+func NewShardRouter(nodeNames []string, shards, replicas int) *ShardRouter {
+	return cluster.NewShardRouter(nodeNames, shards, replicas)
+}
+
+// NewLoadDriver creates an open-loop request generator; the same config
+// reproduces the identical stream.
+func NewLoadDriver(cfg LoadConfig) *LoadDriver { return workload.NewLoadDriver(cfg) }

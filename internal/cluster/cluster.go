@@ -1,0 +1,498 @@
+package cluster
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/hermes-sim/hermes/internal/alloc"
+	"github.com/hermes-sim/hermes/internal/alloc/glibcmalloc"
+	"github.com/hermes-sim/hermes/internal/alloc/jemalloc"
+	"github.com/hermes-sim/hermes/internal/alloc/tcmalloc"
+	"github.com/hermes-sim/hermes/internal/batch"
+	"github.com/hermes-sim/hermes/internal/core"
+	"github.com/hermes-sim/hermes/internal/kernel"
+	"github.com/hermes-sim/hermes/internal/monitor"
+	"github.com/hermes-sim/hermes/internal/services"
+	"github.com/hermes-sim/hermes/internal/simtime"
+	"github.com/hermes-sim/hermes/internal/stats"
+	"github.com/hermes-sim/hermes/internal/workload"
+)
+
+// AllocatorKind selects the malloc library backing every shard.
+type AllocatorKind string
+
+// The four allocators of the paper's comparison.
+const (
+	AllocGlibc    AllocatorKind = "glibc"
+	AllocJemalloc AllocatorKind = "jemalloc"
+	AllocTCMalloc AllocatorKind = "tcmalloc"
+	AllocHermes   AllocatorKind = "hermes"
+)
+
+// AllocatorKinds lists every kind in the paper's comparison order.
+var AllocatorKinds = []AllocatorKind{AllocGlibc, AllocJemalloc, AllocTCMalloc, AllocHermes}
+
+// ServiceKind selects the service type the shards run.
+type ServiceKind string
+
+// The two latency-critical services of the evaluation.
+const (
+	ServiceRedis   ServiceKind = "redis"
+	ServiceRocksdb ServiceKind = "rocksdb"
+)
+
+// Config describes a cluster.
+type Config struct {
+	// Nodes is the machine count.
+	Nodes int
+	// Shards is the service-shard count; shards are placed on nodes by the
+	// ShardRouter and several shards may share a node.
+	Shards int
+	// Replicas is the virtual-node count per machine on the hash ring.
+	Replicas int
+	// Kernel configures every node's memory subsystem (per-node seeds are
+	// derived from Seed, overriding Kernel.Seed).
+	Kernel kernel.Config
+	// Allocator backs every shard's dynamic memory.
+	Allocator AllocatorKind
+	// ServiceKind selects what the shards run; empty means ServiceRedis.
+	ServiceKind ServiceKind
+	// Hermes tunes the Hermes allocators when Allocator == AllocHermes.
+	Hermes core.Config
+	// Daemon, when non-nil and Allocator == AllocHermes, runs the memory
+	// monitor daemon on every node (proactive reclamation).
+	Daemon *monitor.Config
+	// Pressure, when non-nil, co-locates a memory-pressure generator on
+	// every node — the paper's §5 regimes at cluster scale.
+	Pressure *workload.PressureConfig
+	// Batch, when non-nil, co-locates churning batch jobs on every node
+	// (the paper's co-location workload); TargetBytes sets the per-node
+	// pressure level. Batch jobs are the fleet's OOM victims.
+	Batch *batch.Config
+	// Seed derives every node's kernel seed; one seed reproduces the whole
+	// cluster.
+	Seed uint64
+}
+
+// DefaultConfig returns an 8-node, 16-shard Redis-on-Glibc cluster of 8 GB
+// machines — small nodes are the realistic cluster shape, and they let the
+// pressure generators bite without hour-long fills.
+func DefaultConfig() Config {
+	kcfg := kernel.DefaultConfig()
+	kcfg.TotalMemory = 8 << 30
+	kcfg.SwapBytes = 8 << 30
+	return Config{
+		Nodes:     8,
+		Shards:    16,
+		Replicas:  64,
+		Kernel:    kcfg,
+		Allocator: AllocGlibc,
+		Hermes:    core.DefaultConfig(),
+		Seed:      1,
+	}
+}
+
+// Validate reports whether the configuration is well-formed.
+func (c Config) Validate() error {
+	if c.Nodes <= 0 || c.Shards <= 0 || c.Replicas <= 0 {
+		return fmt.Errorf("cluster: bad geometry: nodes=%d shards=%d replicas=%d", c.Nodes, c.Shards, c.Replicas)
+	}
+	switch c.Allocator {
+	case AllocGlibc, AllocJemalloc, AllocTCMalloc, AllocHermes:
+	default:
+		return fmt.Errorf("cluster: unknown allocator kind %q", c.Allocator)
+	}
+	switch c.Service() {
+	case ServiceRedis, ServiceRocksdb:
+	default:
+		return fmt.Errorf("cluster: unknown service kind %q", c.ServiceKind)
+	}
+	return nil
+}
+
+// Shard is one service shard: a Service plus its allocator, pinned to a
+// node, with its own latency digest.
+type Shard struct {
+	// ID is the shard index in [0, Config.Shards).
+	ID int
+
+	node *Node
+	svc  services.Service
+	rec  *stats.Recorder
+
+	requests int64
+	reads    int64
+	writes   int64
+}
+
+// Node returns the machine hosting the shard.
+func (s *Shard) Node() *Node { return s.node }
+
+// Service returns the shard's service instance.
+func (s *Shard) Service() services.Service { return s.svc }
+
+// Recorder returns the shard's latency digest (accumulated across runs).
+func (s *Shard) Recorder() *stats.Recorder { return s.rec }
+
+// Requests, Reads and Writes count the operations the shard has served
+// across all runs.
+func (s *Shard) Requests() int64 { return s.requests }
+
+// Reads counts the read operations the shard has served.
+func (s *Shard) Reads() int64 { return s.reads }
+
+// Writes counts the write operations the shard has served.
+func (s *Shard) Writes() int64 { return s.writes }
+
+// Node is one simulated machine of the cluster: its own scheduler and
+// kernel (so node clocks advance independently between requests), the
+// shards placed on it, and the optional co-located pressure generator and
+// monitor daemon.
+type Node struct {
+	// Index is the node's position in the cluster; Name is "node-<index>".
+	Index int
+	Name  string
+
+	sched    *simtime.Scheduler
+	kernel   *kernel.Kernel
+	shards   []*Shard
+	rec      *stats.Recorder
+	registry *monitor.Registry
+	daemon   *monitor.Daemon
+	pressure *workload.Pressure
+	runner   *batch.Runner
+	refresh  *simtime.PeriodicTask
+	closers  []func()
+}
+
+// Kernel returns the node's simulated memory subsystem.
+func (n *Node) Kernel() *kernel.Kernel { return n.kernel }
+
+// Scheduler returns the node's virtual clock.
+func (n *Node) Scheduler() *simtime.Scheduler { return n.sched }
+
+// Now returns the node's current virtual time.
+func (n *Node) Now() simtime.Time { return n.sched.Now() }
+
+// Shards returns the shards placed on this node.
+func (n *Node) Shards() []*Shard { return n.shards }
+
+// Cluster owns the fleet. Construction places every shard; Run drives the
+// fleet with an open-loop load and returns the digests.
+type Cluster struct {
+	cfg    Config
+	router *ShardRouter
+	nodes  []*Node
+	shards []*Shard
+}
+
+// New boots the fleet: N nodes (each with a derived kernel seed), the shard
+// placement, one allocator + service per shard, and the optional per-node
+// pressure generators and monitor daemons.
+func New(cfg Config) *Cluster {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	c := &Cluster{cfg: cfg}
+	names := make([]string, cfg.Nodes)
+	for i := 0; i < cfg.Nodes; i++ {
+		names[i] = fmt.Sprintf("node-%02d", i)
+		kcfg := cfg.Kernel
+		// splitmix64's increment keeps per-node streams well separated.
+		kcfg.Seed = cfg.Seed + uint64(i+1)*0x9e3779b97f4a7c15
+		sched := simtime.NewScheduler()
+		n := &Node{
+			Index:  i,
+			Name:   names[i],
+			sched:  sched,
+			kernel: kernel.New(sched, kcfg),
+			rec:    stats.NewRecorder(names[i]),
+		}
+		if cfg.Allocator == AllocHermes {
+			n.registry = monitor.NewRegistry()
+		}
+		c.nodes = append(c.nodes, n)
+	}
+	c.router = NewShardRouter(names, cfg.Shards, cfg.Replicas)
+
+	for id := 0; id < cfg.Shards; id++ {
+		n := c.nodes[c.router.NodeForShard(id)]
+		name := fmt.Sprintf("shard-%02d", id)
+		a := c.newAllocator(n, name)
+		var svc services.Service
+		switch cfg.Service() {
+		case ServiceRedis:
+			svc = services.NewRedis(n.kernel, a, services.RedisCosts())
+		case ServiceRocksdb:
+			svc = services.NewRocksdb(n.kernel, a, services.RocksdbCosts(),
+				services.DefaultRocksdbConfig(), name)
+		}
+		sh := &Shard{ID: id, node: n, svc: svc, rec: stats.NewRecorder(name)}
+		n.shards = append(n.shards, sh)
+		n.closers = append(n.closers, svc.Close, a.Close)
+		c.shards = append(c.shards, sh)
+	}
+
+	// Background machinery starts after the shards exist so daemon and
+	// co-tenants see the final process set.
+	for _, n := range c.nodes {
+		node := n
+		if cfg.Batch != nil {
+			node.runner = batch.NewRunner(node.kernel, *cfg.Batch)
+			node.kernel.SetOOMHandler(node.runner.HandleOOM)
+		}
+		if cfg.Pressure != nil {
+			node.pressure = workload.StartPressure(node.kernel, *cfg.Pressure)
+			if node.registry != nil {
+				node.registry.AddBatch(node.pressure.PID())
+			}
+		}
+		if node.registry != nil && node.runner != nil {
+			// The administrator registers batch containers; containers
+			// churn, so the registration refreshes periodically (§3.3).
+			register := func() {
+				for _, pid := range node.runner.PIDs() {
+					node.registry.AddBatch(pid)
+				}
+				for _, pid := range node.runner.InputFilePIDs() {
+					node.registry.AddBatch(pid)
+				}
+				// Prune churned containers so the registry doesn't grow
+				// without bound — but keep dead PIDs that still own cached
+				// files: completed jobs leave their input cache resident
+				// (§2.3) and the daemon must stay able to release it.
+				for _, pid := range node.registry.BatchPIDs() {
+					if p := node.kernel.Process(pid); p != nil && !p.Dead() {
+						continue
+					}
+					ownsCache := false
+					for _, f := range node.kernel.FilesOwnedBy(pid) {
+						if !f.Deleted() && f.CachedPages() > 0 {
+							ownsCache = true
+							break
+						}
+					}
+					if !ownsCache {
+						node.registry.RemoveBatch(pid)
+					}
+				}
+			}
+			register()
+			node.refresh = simtime.NewPeriodicTask(node.sched, 500*simtime.Millisecond,
+				func(simtime.Time) simtime.Duration {
+					register()
+					return 10 * simtime.Microsecond
+				})
+		}
+		if cfg.Daemon != nil && node.registry != nil {
+			node.daemon = monitor.NewDaemon(node.kernel, node.registry, *cfg.Daemon)
+		}
+	}
+	return c
+}
+
+// Service resolves the configured service kind, defaulting to Redis so the
+// zero Config value works.
+func (c Config) Service() ServiceKind {
+	if c.ServiceKind == "" {
+		return ServiceRedis
+	}
+	return c.ServiceKind
+}
+
+func (c *Cluster) newAllocator(n *Node, name string) alloc.Allocator {
+	switch c.cfg.Allocator {
+	case AllocJemalloc:
+		return jemalloc.New(n.kernel, name, jemalloc.DefaultConfig())
+	case AllocTCMalloc:
+		return tcmalloc.New(n.kernel, name, tcmalloc.DefaultConfig())
+	case AllocHermes:
+		return core.NewWithRegistry(n.kernel, name, c.cfg.Hermes, n.registry, true)
+	default:
+		return glibcmalloc.New(n.kernel, name, glibcmalloc.DefaultConfig())
+	}
+}
+
+// Router returns the shard router.
+func (c *Cluster) Router() *ShardRouter { return c.router }
+
+// Nodes returns the fleet.
+func (c *Cluster) Nodes() []*Node { return c.nodes }
+
+// Shard returns shard id.
+func (c *Cluster) Shard(id int) *Shard { return c.shards[id] }
+
+// Advance moves every node's clock forward by d in lockstep, running each
+// node's background machinery.
+func (c *Cluster) Advance(d simtime.Duration) {
+	for _, n := range c.nodes {
+		n.sched.Advance(d)
+	}
+}
+
+// Close stops pressure generators, daemons, services and allocators on
+// every node.
+func (c *Cluster) Close() {
+	for _, n := range c.nodes {
+		if n.refresh != nil {
+			n.refresh.Stop()
+			n.refresh = nil
+		}
+		if n.pressure != nil {
+			n.pressure.Stop()
+			n.pressure = nil
+		}
+		if n.runner != nil {
+			n.runner.Stop()
+			n.runner = nil
+		}
+		if n.daemon != nil {
+			n.daemon.Stop()
+			n.daemon = nil
+		}
+		for _, f := range n.closers {
+			f()
+		}
+		n.closers = nil
+	}
+}
+
+// NodeReport is one node's slice of a Report.
+type NodeReport struct {
+	Name    string
+	Shards  int
+	Latency stats.Summary
+	Kernel  kernel.Stats
+}
+
+// Report is the digest of one cluster run.
+type Report struct {
+	// Allocator and Service echo the configuration the run used.
+	Allocator AllocatorKind
+	Service   ServiceKind
+	// Requests is the number of requests served (Reads + Writes).
+	Requests int64
+	Reads    int64
+	Writes   int64
+	// Cluster is the cluster-wide latency digest (queue wait + service).
+	Cluster stats.Summary
+	// Wait is the cluster-wide queueing-delay digest: the open-loop
+	// symptom of an overloaded or pressure-stalled node.
+	Wait stats.Summary
+	// PerNode and PerShard are the sliced digests.
+	PerNode  []NodeReport
+	PerShard []stats.Summary
+}
+
+// Render prints the report in the repo's table style.
+func (r Report) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cluster run: allocator=%s service=%s requests=%d (reads=%d writes=%d)\n",
+		r.Allocator, r.Service, r.Requests, r.Reads, r.Writes)
+	fmt.Fprintf(&b, "%s\n", r.Cluster)
+	fmt.Fprintf(&b, "%s\n", r.Wait)
+	b.WriteString("per node:\n")
+	for _, n := range r.PerNode {
+		fmt.Fprintf(&b, "  %s  shards=%-3d reclaims=%-6d swapouts=%-8d %s\n",
+			n.Name, n.Shards, n.Kernel.DirectReclaims, n.Kernel.PagesSwapOut, n.Latency)
+	}
+	b.WriteString("per shard:\n")
+	for _, s := range r.PerShard {
+		fmt.Fprintf(&b, "  %s\n", s)
+	}
+	return b.String()
+}
+
+// Run drives the fleet with the open-loop stream described by load and
+// returns the digests. Each node is modelled as a single-threaded server
+// (the event-loop discipline of Redis itself): a request that arrives while
+// its node is still busy queues, and its recorded latency is queueing delay
+// plus jittered service time. Requests are generated and executed in global
+// arrival order, each node's clock advances monotonically, and every random
+// draw comes from a seeded stream — so one (config, load) pair reproduces
+// the run exactly.
+//
+// Run may be called repeatedly with successive streams. Every digest in
+// the returned Report covers exactly that run (PerNode and PerShard sum to
+// Cluster); the shard and node Recorders keep accumulating across runs for
+// callers inspecting the whole history.
+func (c *Cluster) Run(load workload.LoadConfig) Report {
+	d := workload.NewLoadDriver(load)
+	clusterRec := stats.NewRecorder("cluster")
+	waitRec := stats.NewRecorder("queue-wait")
+	runNode := make([]*stats.Recorder, len(c.nodes))
+	for i, n := range c.nodes {
+		runNode[i] = stats.NewRecorder(n.Name)
+	}
+	runShard := make([]*stats.Recorder, len(c.shards))
+	for i, sh := range c.shards {
+		runShard[i] = stats.NewRecorder(sh.rec.Name())
+	}
+	report := Report{Allocator: c.cfg.Allocator, Service: c.cfg.Service()}
+
+	for {
+		req, ok := d.Next()
+		if !ok {
+			break
+		}
+		sh := c.shards[c.router.ShardForKey(req.Key)]
+		n := sh.node
+		if req.At.After(n.sched.Now()) {
+			// Idle until the arrival: run background machinery up to it.
+			n.sched.RunUntil(req.At)
+		}
+		wait := n.sched.Now().Sub(req.At) // >0 when the server was busy
+		var raw simtime.Duration
+		preMapped := false
+		switch req.Op {
+		case workload.OpWrite:
+			raw = sh.svc.Insert(req.Key, req.ValueBytes)
+			preMapped = sh.svc.LastPreMapped()
+			sh.writes++
+			report.Writes++
+		case workload.OpRead:
+			raw = sh.svc.Read(req.Key)
+			sh.reads++
+			report.Reads++
+		}
+		// The server occupies the node for the raw service time; the
+		// client observes queueing plus the jittered service time.
+		lat := wait + workload.JitterRequest(n.kernel, raw, preMapped)
+		n.sched.Advance(raw)
+		sh.requests++
+		report.Requests++
+		sh.rec.Record(lat)
+		n.rec.Record(lat)
+		runShard[sh.ID].Record(lat)
+		runNode[n.Index].Record(lat)
+		clusterRec.Record(lat)
+		waitRec.Record(wait)
+	}
+
+	// Settle the fleet on a common horizon so background work (management
+	// threads, kswapd, daemons) finishes the same window on every node.
+	var horizon simtime.Time
+	for _, n := range c.nodes {
+		if n.sched.Now().After(horizon) {
+			horizon = n.sched.Now()
+		}
+	}
+	for _, n := range c.nodes {
+		n.sched.RunUntil(horizon)
+	}
+
+	report.Cluster = clusterRec.Summarize()
+	report.Wait = waitRec.Summarize()
+	for i, n := range c.nodes {
+		report.PerNode = append(report.PerNode, NodeReport{
+			Name:    n.Name,
+			Shards:  len(n.shards),
+			Latency: runNode[i].Summarize(),
+			Kernel:  n.kernel.Stats(),
+		})
+	}
+	for i := range c.shards {
+		report.PerShard = append(report.PerShard, runShard[i].Summarize())
+	}
+	return report
+}

@@ -1,0 +1,86 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func nodeNames(n int) []string {
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("node-%02d", i)
+	}
+	return names
+}
+
+func TestRouterDeterministicPlacement(t *testing.T) {
+	a := NewShardRouter(nodeNames(8), 64, 64)
+	b := NewShardRouter(nodeNames(8), 64, 64)
+	for s := 0; s < 64; s++ {
+		if a.NodeForShard(s) != b.NodeForShard(s) {
+			t.Fatalf("shard %d placed on %d vs %d across identical routers",
+				s, a.NodeForShard(s), b.NodeForShard(s))
+		}
+	}
+	for key := int64(0); key < 10_000; key++ {
+		if a.ShardForKey(key) != b.ShardForKey(key) {
+			t.Fatalf("key %d routed to different shards", key)
+		}
+	}
+}
+
+func TestRouterCoversAllNodes(t *testing.T) {
+	const nodes, shards = 8, 256
+	r := NewShardRouter(nodeNames(nodes), shards, 64)
+	counts := make([]int, nodes)
+	for s := 0; s < shards; s++ {
+		n := r.NodeForShard(s)
+		if n < 0 || n >= nodes {
+			t.Fatalf("shard %d on out-of-range node %d", s, n)
+		}
+		counts[n]++
+	}
+	for i, c := range counts {
+		if c == 0 {
+			t.Errorf("node %d owns no shards: %v", i, counts)
+		}
+	}
+}
+
+func TestRouterKeysSpreadAcrossShards(t *testing.T) {
+	r := NewShardRouter(nodeNames(8), 16, 64)
+	counts := make([]int, 16)
+	for key := int64(0); key < 16_000; key++ {
+		counts[r.ShardForKey(key)]++
+	}
+	for s, c := range counts {
+		// Uniform would be 1000 per shard; a well-mixed hash stays within 3x.
+		if c < 300 || c > 3000 {
+			t.Errorf("shard %d got %d of 16000 keys (badly mixed): %v", s, c, counts)
+		}
+	}
+}
+
+func TestRouterRebalanceMovesFewShards(t *testing.T) {
+	const shards = 256
+	before := NewShardRouter(nodeNames(8), shards, 64)
+	after := NewShardRouter(nodeNames(9), shards, 64)
+
+	moved := before.Moved(after)
+	if moved == 0 {
+		t.Fatal("adding a node moved no shards — the new node is unused")
+	}
+	// Consistent hashing moves ~shards/9 ≈ 28; allow generous slack but
+	// reject modulo-style reshuffles (which would move ~8/9 of the shards).
+	if moved > shards/3 {
+		t.Errorf("adding one node to 8 moved %d/%d shards; want ≤ %d", moved, shards, shards/3)
+	}
+	// Shards that stayed must still be on the same node (names are stable).
+	assignBefore, assignAfter := before.Assignments(), after.Assignments()
+	for s := 0; s < shards; s++ {
+		if assignAfter[s] != assignBefore[s] && assignAfter[s] != 8 {
+			t.Errorf("shard %d moved from node %d to old node %d — only moves to the new node are consistent",
+				s, assignBefore[s], assignAfter[s])
+		}
+	}
+}

@@ -41,6 +41,9 @@ func (r *Redis) Allocator() alloc.Allocator { return r.a }
 // StoredBytes implements Service.
 func (r *Redis) StoredBytes() int64 { return r.stored }
 
+// LastPreMapped implements Service.
+func (r *Redis) LastPreMapped() bool { return r.lastPreMapped }
+
 // Insert implements Service: allocate, copy the payload, update the index;
 // an overwrite frees the old value afterwards, as Redis does.
 func (r *Redis) Insert(key, valueBytes int64) simtime.Duration {

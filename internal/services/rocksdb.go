@@ -110,6 +110,9 @@ func (r *Rocksdb) Allocator() alloc.Allocator { return r.a }
 // StoredBytes implements Service.
 func (r *Rocksdb) StoredBytes() int64 { return r.stored }
 
+// LastPreMapped implements Service.
+func (r *Rocksdb) LastPreMapped() bool { return r.lastPreMapped }
+
 // Flushes reports completed memtable flushes (diagnostics).
 func (r *Rocksdb) Flushes() int64 { return r.flushes }
 

@@ -74,6 +74,11 @@ type Service interface {
 	Query(key int64, valueBytes int64) (total, insert, read simtime.Duration)
 	// StoredBytes reports the live dataset size.
 	StoredBytes() int64
+	// LastPreMapped reports whether the most recent insertion was served
+	// entirely from pre-mapped memory (Hermes reservations): such requests
+	// never enter the kernel, so drivers exempt them from the ambient
+	// reclaim slowdown (workload.JitterRequest).
+	LastPreMapped() bool
 	// Allocator exposes the backing allocator.
 	Allocator() alloc.Allocator
 	// Close releases service resources (not the allocator).
