@@ -1,0 +1,60 @@
+// Cluster engine benchmarks: the perf trajectory of the simulation hot
+// path, tracked from PR 2 on. Each iteration boots a fresh fleet and
+// drives the default open-loop workload end-to-end, so ns/op measures the
+// whole engine (generation, routing, service models, stats digestion).
+//
+// CI runs these with -benchtime=1x as a smoke test; locally,
+// `go test -bench=BenchmarkCluster -benchmem` gives the comparison, and
+// `hermes-cluster -bench BENCH_cluster.json` captures the committed
+// trajectory at the full 1M-request scale.
+package hermes_test
+
+import (
+	"testing"
+
+	hermes "github.com/hermes-sim/hermes"
+)
+
+const benchClusterRequests = 100_000
+
+func benchClusterConfig(sequential bool, mode hermes.StatsMode) hermes.ClusterConfig {
+	cfg := hermes.DefaultClusterConfig()
+	cfg.Sequential = sequential
+	cfg.Stats = mode
+	return cfg
+}
+
+func runClusterBench(b *testing.B, sequential bool, mode hermes.StatsMode) {
+	load := hermes.DefaultLoadConfig()
+	load.Requests = benchClusterRequests
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c := hermes.NewCluster(benchClusterConfig(sequential, mode))
+		rep := c.Run(load)
+		c.Close()
+		if rep.Requests != load.Requests {
+			b.Fatalf("served %d requests, want %d", rep.Requests, load.Requests)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(rep.Cluster.P99.Nanoseconds()), "p99-ns")
+		}
+	}
+}
+
+// BenchmarkClusterSequentialRaw is the seed engine: one goroutine in
+// global arrival order, every sample kept raw.
+func BenchmarkClusterSequentialRaw(b *testing.B) {
+	runClusterBench(b, true, hermes.StatsRaw)
+}
+
+// BenchmarkClusterParallelRaw isolates the parallel engine's contribution:
+// partitioned per-node execution, still exact raw digests.
+func BenchmarkClusterParallelRaw(b *testing.B) {
+	runClusterBench(b, false, hermes.StatsRaw)
+}
+
+// BenchmarkClusterParallelHistogram is the overhauled default: partitioned
+// per-node execution with bounded-memory streaming histograms.
+func BenchmarkClusterParallelHistogram(b *testing.B) {
+	runClusterBench(b, false, hermes.StatsHistogram)
+}

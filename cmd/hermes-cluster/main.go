@@ -9,13 +9,27 @@
 //	               [-service redis|rocksdb] [-requests 1000000] [-rate 50000]
 //	               [-keys 100000] [-zipf 1.1] [-reads 0.5] [-value 1024]
 //	               [-pressure none|anon|file] [-free-mb 300] [-mem-gb 8]
-//	               [-daemon] [-seed 1] [-per-shard]
+//	               [-daemon] [-seed 1] [-per-shard] [-parallel=true]
+//	               [-stats raw|histogram] [-json] [-bench BENCH_cluster.json]
+//
+// -parallel toggles the partitioned per-node engine (on by default; the
+// sequential escape hatch executes in global arrival order and produces a
+// bit-identical report). -stats selects exact raw-sample digests or
+// bounded-memory streaming histograms. -json emits the machine-readable
+// reports instead of tables. -bench times the seed engine
+// (sequential+raw) against the overhauled engine (parallel+histogram) on
+// the identical scenario, verifies engine equivalence, and writes the
+// trajectory to the given JSON file.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"reflect"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -47,7 +61,24 @@ func run() error {
 	daemon := flag.Bool("daemon", false, "run the monitor daemon per node (hermes only)")
 	seed := flag.Uint64("seed", 1, "determinism seed")
 	perShard := flag.Bool("per-shard", false, "print per-shard digests")
+	parallel := flag.Bool("parallel", true, "run nodes on parallel goroutines (off = sequential escape hatch)")
+	statsMode := flag.String("stats", "raw", "latency digest backend: raw (exact) or histogram (streaming, bounded memory)")
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON reports instead of tables")
+	benchPath := flag.String("bench", "", "benchmark seed engine vs overhauled engine and write the JSON trajectory to this file")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	cfg := hermes.DefaultClusterConfig()
 	cfg.Nodes = *nodes
@@ -57,6 +88,8 @@ func run() error {
 	cfg.Kernel.TotalMemory = *memGB << 30
 	cfg.Kernel.SwapBytes = *memGB << 30
 	cfg.Seed = *seed
+	cfg.Sequential = !*parallel
+	cfg.Stats = hermes.StatsMode(*statsMode)
 	switch *pressure {
 	case "none":
 	case "anon", "file":
@@ -87,13 +120,25 @@ func run() error {
 		return err
 	}
 
-	fmt.Printf("hermes-cluster nodes=%d shards=%d service=%s pressure=%s seed=%d\n",
-		*nodes, *shards, *service, *pressure, *seed)
-	fmt.Printf("load: %d requests at %.0f req/s, %d keys (zipf=%.2f), %.0f%% reads, %dB values\n\n",
-		*requests, *rate, *keys, *zipf, *reads*100, *value)
+	kinds, err := parseAllocators(*allocators)
+	if err != nil {
+		return err
+	}
 
-	for _, name := range strings.Split(*allocators, ",") {
-		cfg.Allocator = hermes.AllocatorKind(strings.TrimSpace(name))
+	if *benchPath != "" {
+		return runBench(cfg, load, kinds, *benchPath)
+	}
+
+	if !*jsonOut {
+		fmt.Printf("hermes-cluster nodes=%d shards=%d service=%s pressure=%s stats=%s parallel=%v seed=%d\n",
+			*nodes, *shards, *service, *pressure, cfg.Stats, *parallel, *seed)
+		fmt.Printf("load: %d requests at %.0f req/s, %d keys (zipf=%.2f), %.0f%% reads, %dB values\n\n",
+			*requests, *rate, *keys, *zipf, *reads*100, *value)
+	}
+
+	var jsonReports []jsonReport
+	for _, kind := range kinds {
+		cfg.Allocator = kind
 		if err := cfg.Validate(); err != nil {
 			return err
 		}
@@ -101,7 +146,12 @@ func run() error {
 		c := hermes.NewCluster(cfg)
 		rep := c.Run(load)
 		c.Close()
-		fmt.Printf("=== %s (wall %v) ===\n", cfg.Allocator, time.Since(start).Round(time.Millisecond))
+		wall := time.Since(start)
+		if *jsonOut {
+			jsonReports = append(jsonReports, jsonReport{ClusterReport: rep, WallMS: ms(wall)})
+			continue
+		}
+		fmt.Printf("=== %s (wall %v) ===\n", cfg.Allocator, wall.Round(time.Millisecond))
 		if *perShard {
 			fmt.Println(rep.Render())
 			continue
@@ -113,5 +163,151 @@ func run() error {
 		}
 		fmt.Println()
 	}
+	if *jsonOut {
+		return writeJSON(os.Stdout, struct {
+			Load    hermes.LoadConfig `json:"load"`
+			Reports []jsonReport      `json:"reports"`
+		}{load, jsonReports})
+	}
 	return nil
+}
+
+func parseAllocators(s string) ([]hermes.AllocatorKind, error) {
+	var kinds []hermes.AllocatorKind
+	for _, name := range strings.Split(s, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			kinds = append(kinds, hermes.AllocatorKind(name))
+		}
+	}
+	if len(kinds) == 0 {
+		return nil, fmt.Errorf("no allocators given")
+	}
+	return kinds, nil
+}
+
+// jsonReport wraps a ClusterReport with its wall-clock cost. The wall
+// field is Go-cased to match the embedded report's untagged fields, so the
+// -json document carries one naming convention.
+type jsonReport struct {
+	hermes.ClusterReport
+	WallMS float64 `json:"WallMS"`
+}
+
+// benchRun is one timed engine execution inside a bench entry.
+type benchRun struct {
+	Engine   string  `json:"engine"` // "sequential" or "parallel"
+	Stats    string  `json:"stats"`  // "raw" or "histogram"
+	WallMS   float64 `json:"wall_ms"`
+	MeanNS   int64   `json:"mean_ns"`
+	P50NS    int64   `json:"p50_ns"`
+	P99NS    int64   `json:"p99_ns"`
+	MaxNS    int64   `json:"max_ns"`
+	Requests int64   `json:"requests"`
+}
+
+// benchEntry compares the seed engine against the overhauled engine for
+// one allocator on the identical (config, load) pair.
+type benchEntry struct {
+	Allocator  string   `json:"allocator"`
+	Baseline   benchRun `json:"baseline"` // sequential engine, raw samples (the seed hot path)
+	Parity     benchRun `json:"parity"`   // parallel engine, raw samples (bit-identity check vs baseline)
+	New        benchRun `json:"new"`      // parallel engine, streaming histograms (the overhauled default)
+	Equivalent bool     `json:"equivalent"`
+	Speedup    float64  `json:"speedup"` // baseline wall / new wall
+}
+
+func runBench(cfg hermes.ClusterConfig, load hermes.LoadConfig, kinds []hermes.AllocatorKind, path string) error {
+	out := struct {
+		Generated  string       `json:"generated"`
+		GoMaxProcs int          `json:"gomaxprocs"`
+		GOOS       string       `json:"goos"`
+		GOARCH     string       `json:"goarch"`
+		Nodes      int          `json:"nodes"`
+		Shards     int          `json:"shards"`
+		Requests   int64        `json:"requests"`
+		RatePerSec float64      `json:"rate_per_sec"`
+		Seed       uint64       `json:"seed"`
+		Entries    []benchEntry `json:"entries"`
+	}{
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		Nodes:      cfg.Nodes,
+		Shards:     cfg.Shards,
+		Requests:   load.Requests,
+		RatePerSec: load.RatePerSec,
+		Seed:       cfg.Seed,
+	}
+
+	timed := func(sequential bool, mode hermes.StatsMode) (hermes.ClusterReport, benchRun) {
+		c := cfg
+		c.Sequential = sequential
+		c.Stats = mode
+		start := time.Now()
+		cl := hermes.NewCluster(c)
+		rep := cl.Run(load)
+		cl.Close()
+		wall := time.Since(start)
+		engine := "parallel"
+		if sequential {
+			engine = "sequential"
+		}
+		return rep, benchRun{
+			Engine:   engine,
+			Stats:    string(mode),
+			WallMS:   ms(wall),
+			MeanNS:   rep.Cluster.Mean.Nanoseconds(),
+			P50NS:    rep.Cluster.P50.Nanoseconds(),
+			P99NS:    rep.Cluster.P99.Nanoseconds(),
+			MaxNS:    rep.Cluster.Max.Nanoseconds(),
+			Requests: rep.Requests,
+		}
+	}
+
+	for _, kind := range kinds {
+		cfg.Allocator = kind
+		if err := cfg.Validate(); err != nil {
+			return err
+		}
+		fmt.Printf("bench %s: %d requests on %d nodes...\n", kind, load.Requests, cfg.Nodes)
+		baseRep, base := timed(true, hermes.StatsRaw)
+		parRep, parity := timed(false, hermes.StatsRaw)
+		_, novel := timed(false, hermes.StatsHistogram)
+		entry := benchEntry{
+			Allocator:  string(kind),
+			Baseline:   base,
+			Parity:     parity,
+			New:        novel,
+			Equivalent: reflect.DeepEqual(baseRep, parRep),
+			Speedup:    base.WallMS / novel.WallMS,
+		}
+		if !entry.Equivalent {
+			return fmt.Errorf("engine equivalence violated for %s:\nseq %v\npar %v",
+				kind, baseRep.Cluster, parRep.Cluster)
+		}
+		fmt.Printf("  baseline (sequential+raw)  %8.1f ms\n", base.WallMS)
+		fmt.Printf("  parity   (parallel+raw)    %8.1f ms  bit-identical report\n", parity.WallMS)
+		fmt.Printf("  new      (parallel+hist)   %8.1f ms  speedup %.2fx\n", novel.WallMS, entry.Speedup)
+		out.Entries = append(out.Entries, entry)
+	}
+
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := writeJSON(f, out); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}
+
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+
+func writeJSON(f *os.File, v any) error {
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
 }

@@ -85,6 +85,10 @@ type (
 	Recorder = stats.Recorder
 	// Summary is the avg/p75/p90/p95/p99 digest of a Recorder.
 	Summary = stats.Summary
+	// Histogram is the streaming log-bucketed latency digest backing
+	// histogram-mode Recorders: O(1) record, bounded memory, ≤1% relative
+	// percentile error.
+	Histogram = stats.Histogram
 
 	// KernelConfig configures the simulated node's memory subsystem.
 	KernelConfig = kernel.Config
@@ -109,6 +113,9 @@ type (
 	AllocatorKind = cluster.AllocatorKind
 	// ServiceKind names one of the two services.
 	ServiceKind = cluster.ServiceKind
+	// StatsMode selects the cluster's latency-digest backend: exact raw
+	// samples or bounded-memory streaming histograms.
+	StatsMode = cluster.StatsMode
 
 	// LoadConfig tunes the open-loop cluster workload generator;
 	// LoadDriver is the generator and Request one generated request.
@@ -125,6 +132,12 @@ const (
 	AllocHermes    = cluster.AllocHermes
 	ServiceRedis   = cluster.ServiceRedis
 	ServiceRocksdb = cluster.ServiceRocksdb
+)
+
+// Stats modes for ClusterConfig.Stats.
+const (
+	StatsRaw       = cluster.StatsRaw
+	StatsHistogram = cluster.StatsHistogram
 )
 
 // Pressure kinds (Figure 3's two regimes).
@@ -250,8 +263,13 @@ func (n *Node) RunMicroBench(a Allocator, requestSize, totalBytes int64, rec *Re
 	}, rec)
 }
 
-// NewRecorder creates a latency recorder labelled name.
+// NewRecorder creates a raw-mode latency recorder labelled name.
 func NewRecorder(name string) *Recorder { return stats.NewRecorder(name) }
+
+// NewStreamingRecorder creates a histogram-mode latency recorder: O(1)
+// record, memory bounded regardless of sample count, percentiles within
+// ≤1% relative error — the right recorder for fleet-scale runs.
+func NewStreamingRecorder(name string) *Recorder { return stats.NewStreamingRecorder(name) }
 
 // NewCluster boots a fleet of simulated nodes with the configured shard
 // placement; drive it with Cluster.Run. Close releases every node's

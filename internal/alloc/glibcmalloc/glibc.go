@@ -84,10 +84,13 @@ type Allocator struct {
 	// bins maps chunk size → free chunks of exactly that size; sizes
 	// holds the distinct sizes sorted ascending for best-fit search;
 	// byEnd indexes free chunks by their end offset for coalescing with
-	// the top chunk.
-	bins  map[int64][]freeChunk
-	sizes []int64
-	byEnd map[int64]freeChunk
+	// the top chunk; binPos maps a free chunk's start offset to its index
+	// in its bin list, so coalescing removals are O(1) instead of a scan
+	// over every same-sized chunk.
+	bins   map[int64][]freeChunk
+	sizes  []int64
+	byEnd  map[int64]freeChunk
+	binPos map[int64]int
 
 	binnedBytes int64
 
@@ -114,11 +117,12 @@ func New(k *kernel.Kernel, name string, cfg Config) *Allocator {
 		panic(fmt.Sprintf("glibcmalloc: invalid config %+v", cfg))
 	}
 	return &Allocator{
-		k:     k,
-		proc:  k.CreateProcess(name),
-		cfg:   cfg,
-		bins:  make(map[int64][]freeChunk),
-		byEnd: make(map[int64]freeChunk),
+		k:      k,
+		proc:   k.CreateProcess(name),
+		cfg:    cfg,
+		bins:   make(map[int64][]freeChunk),
+		byEnd:  make(map[int64]freeChunk),
+		binPos: make(map[int64]int),
 	}
 }
 
@@ -227,6 +231,7 @@ func (a *Allocator) MallocSmall(at simtime.Time, size int64) (*Block, simtime.Du
 			a.dropSize(chunk)
 		}
 		delete(a.byEnd, fc.start+fc.size)
+		delete(a.binPos, fc.start)
 		a.binnedBytes -= fc.size
 		return a.heapBlock(size, fc.start, fc.size), cost
 	}
@@ -243,6 +248,7 @@ func (a *Allocator) MallocSmall(at simtime.Time, size int64) (*Block, simtime.Du
 			a.dropSize(sz)
 		}
 		delete(a.byEnd, fc.start+fc.size)
+		delete(a.binPos, fc.start)
 		a.binnedBytes -= fc.size
 		if rem := fc.size - chunk; rem >= 32 {
 			a.insertFree(freeChunk{start: fc.start + chunk, size: rem})
@@ -385,21 +391,28 @@ func (a *Allocator) insertFree(fc freeChunk) {
 		a.sizes[idx] = fc.size
 	}
 	a.bins[fc.size] = append(a.bins[fc.size], fc)
+	a.binPos[fc.start] = len(a.bins[fc.size]) - 1
 	a.byEnd[fc.start+fc.size] = fc
 	a.binnedBytes += fc.size
 }
 
-// removeFree deletes a specific free chunk (found via byEnd).
+// removeFree deletes a specific free chunk (found via byEnd) in O(1): the
+// binPos index locates it inside its bin list, and the vacated slot is
+// back-filled by the list's last chunk.
 func (a *Allocator) removeFree(fc freeChunk) {
 	list := a.bins[fc.size]
-	for i := range list {
-		if list[i] == fc {
-			list[i] = list[len(list)-1]
-			a.bins[fc.size] = list[:len(list)-1]
-			break
-		}
+	i, ok := a.binPos[fc.start]
+	if !ok || i >= len(list) || list[i] != fc {
+		panic(fmt.Sprintf("glibcmalloc: free-chunk index out of sync for chunk at %d", fc.start))
 	}
-	if len(a.bins[fc.size]) == 0 {
+	last := len(list) - 1
+	if i != last {
+		list[i] = list[last]
+		a.binPos[list[i].start] = i
+	}
+	a.bins[fc.size] = list[:last]
+	delete(a.binPos, fc.start)
+	if last == 0 {
 		delete(a.bins, fc.size)
 		a.dropSize(fc.size)
 	}

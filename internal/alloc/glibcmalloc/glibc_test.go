@@ -315,3 +315,66 @@ func TestChurnKeepsKernelConsistent(t *testing.T) {
 	}
 	k.CheckInvariants()
 }
+
+func TestBinPosIndexStaysConsistent(t *testing.T) {
+	a, _, s := newTestAlloc(t)
+	// Allocate a run of same-sized chunks, free them in a scattered order
+	// (populating one long bin list), then free the border chunk so the
+	// top-chunk coalescing cascade removes binned chunks from the middle
+	// of the list via removeFree.
+	const n = 64
+	blocks := make([]*Block, n)
+	for i := range blocks {
+		b, _ := a.Malloc(s.Now(), 1024)
+		blocks[i] = b
+	}
+	// Free every chunk except the one bordering the top, even indexes
+	// first, so the bin list's order differs from address order.
+	for i := 0; i < n-1; i += 2 {
+		a.Free(s.Now(), blocks[i])
+	}
+	for i := 1; i < n-1; i += 2 {
+		a.Free(s.Now(), blocks[i])
+	}
+	if a.BinnedBytes() == 0 {
+		t.Fatal("expected binned chunks")
+	}
+	// The border free cascades: every binned neighbour merges into the top
+	// chunk one by one, each through removeFree's O(1) index path.
+	a.Free(s.Now(), blocks[n-1])
+	if got := a.BinnedBytes(); got != 0 {
+		t.Fatalf("cascade left %d binned bytes, want 0", got)
+	}
+	if len(a.binPos) != 0 || len(a.byEnd) != 0 {
+		t.Fatalf("stale indexes after cascade: binPos=%d byEnd=%d", len(a.binPos), len(a.byEnd))
+	}
+}
+
+// BenchmarkMallocFreeChurn drives the allocator through a steady
+// malloc/free churn with coalescing cascades — the hot path of a cluster
+// shard under a write-heavy workload.
+func BenchmarkMallocFreeChurn(b *testing.B) {
+	s := simtime.NewScheduler()
+	cfg := kernel.DefaultConfig()
+	cfg.TotalMemory = 1 << 30
+	cfg.SwapBytes = 256 << 20
+	k := kernel.New(s, cfg)
+	a := New(k, "bench", DefaultConfig())
+	const window = 128
+	blocks := make([]*Block, 0, window)
+	sizes := []int64{512, 1024, 2048, 4096}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		blk, _ := a.Malloc(s.Now(), sizes[i%len(sizes)])
+		blocks = append(blocks, blk)
+		if len(blocks) == window {
+			// Free in reverse so border chunks cascade through the bins.
+			for j := len(blocks) - 1; j >= 0; j-- {
+				a.Free(s.Now(), blocks[j])
+			}
+			blocks = blocks[:0]
+		}
+		s.Advance(100 * simtime.Nanosecond)
+	}
+}

@@ -3,6 +3,7 @@ package cluster
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"github.com/hermes-sim/hermes/internal/alloc"
 	"github.com/hermes-sim/hermes/internal/alloc/glibcmalloc"
@@ -34,6 +35,22 @@ var AllocatorKinds = []AllocatorKind{AllocGlibc, AllocJemalloc, AllocTCMalloc, A
 
 // ServiceKind selects the service type the shards run.
 type ServiceKind string
+
+// StatsMode selects the Recorder backend for every latency digest of a
+// cluster.
+type StatsMode string
+
+const (
+	// StatsRaw keeps every sample: exact percentiles and CDF shapes, memory
+	// proportional to the request count. The default, and the right mode for
+	// experiments that assert exact distribution shapes.
+	StatsRaw StatsMode = "raw"
+	// StatsHistogram digests samples into log-bucketed histograms: O(1)
+	// record, memory bounded regardless of request count, percentiles within
+	// ≤1% relative error. The right mode for fleet-scale runs serving
+	// millions of requests.
+	StatsHistogram StatsMode = "histogram"
+)
 
 // The two latency-critical services of the evaluation.
 const (
@@ -72,6 +89,14 @@ type Config struct {
 	// Seed derives every node's kernel seed; one seed reproduces the whole
 	// cluster.
 	Seed uint64
+	// Sequential forces Run onto the single-goroutine engine that executes
+	// requests in global arrival order — the escape hatch for debugging and
+	// for streaming the load with O(1) workload memory. The default parallel
+	// engine partitions the stream per node and produces a bit-identical
+	// Report (nodes are causally independent after routing).
+	Sequential bool
+	// Stats selects the latency-digest backend; empty means StatsRaw.
+	Stats StatsMode
 }
 
 // DefaultConfig returns an 8-node, 16-shard Redis-on-Glibc cluster of 8 GB
@@ -107,7 +132,29 @@ func (c Config) Validate() error {
 	default:
 		return fmt.Errorf("cluster: unknown service kind %q", c.ServiceKind)
 	}
+	switch c.StatsBackend() {
+	case StatsRaw, StatsHistogram:
+	default:
+		return fmt.Errorf("cluster: unknown stats mode %q", c.Stats)
+	}
 	return nil
+}
+
+// StatsBackend resolves the configured stats mode, defaulting to StatsRaw
+// so the zero Config value works.
+func (c Config) StatsBackend() StatsMode {
+	if c.Stats == "" {
+		return StatsRaw
+	}
+	return c.Stats
+}
+
+// newRecorder builds a latency recorder in the cluster's configured mode.
+func (c *Cluster) newRecorder(name string) *stats.Recorder {
+	if c.cfg.StatsBackend() == StatsHistogram {
+		return stats.NewStreamingRecorder(name)
+	}
+	return stats.NewRecorder(name)
 }
 
 // Shard is one service shard: a Service plus its allocator, pinned to a
@@ -206,7 +253,7 @@ func New(cfg Config) *Cluster {
 			Name:   names[i],
 			sched:  sched,
 			kernel: kernel.New(sched, kcfg),
-			rec:    stats.NewRecorder(names[i]),
+			rec:    c.newRecorder(names[i]),
 		}
 		if cfg.Allocator == AllocHermes {
 			n.registry = monitor.NewRegistry()
@@ -227,7 +274,7 @@ func New(cfg Config) *Cluster {
 			svc = services.NewRocksdb(n.kernel, a, services.RocksdbCosts(),
 				services.DefaultRocksdbConfig(), name)
 		}
-		sh := &Shard{ID: id, node: n, svc: svc, rec: stats.NewRecorder(name)}
+		sh := &Shard{ID: id, node: n, svc: svc, rec: c.newRecorder(name)}
 		n.shards = append(n.shards, sh)
 		n.closers = append(n.closers, svc.Close, a.Close)
 		c.shards = append(c.shards, sh)
@@ -367,9 +414,10 @@ type NodeReport struct {
 
 // Report is the digest of one cluster run.
 type Report struct {
-	// Allocator and Service echo the configuration the run used.
+	// Allocator, Service and Stats echo the configuration the run used.
 	Allocator AllocatorKind
 	Service   ServiceKind
+	Stats     StatsMode
 	// Requests is the number of requests served (Reads + Writes).
 	Requests int64
 	Reads    int64
@@ -403,72 +451,75 @@ func (r Report) Render() string {
 	return b.String()
 }
 
-// Run drives the fleet with the open-loop stream described by load and
-// returns the digests. Each node is modelled as a single-threaded server
-// (the event-loop discipline of Redis itself): a request that arrives while
-// its node is still busy queues, and its recorded latency is queueing delay
-// plus jittered service time. Requests are generated and executed in global
-// arrival order, each node's clock advances monotonically, and every random
-// draw comes from a seeded stream — so one (config, load) pair reproduces
-// the run exactly.
-//
-// Run may be called repeatedly with successive streams. Every digest in
-// the returned Report covers exactly that run (PerNode and PerShard sum to
-// Cluster); the shard and node Recorders keep accumulating across runs for
-// callers inspecting the whole history.
-func (c *Cluster) Run(load workload.LoadConfig) Report {
-	d := workload.NewLoadDriver(load)
-	clusterRec := stats.NewRecorder("cluster")
-	waitRec := stats.NewRecorder("queue-wait")
-	runNode := make([]*stats.Recorder, len(c.nodes))
-	for i, n := range c.nodes {
-		runNode[i] = stats.NewRecorder(n.Name)
+// runState holds one run's run-local digests: one latency recorder per
+// shard and one queue-wait recorder plus read/write counters per node.
+// Everything a request records lands in state owned by its node, so the
+// per-node slices can be filled by concurrent goroutines without sharing.
+type runState struct {
+	shard         []*stats.Recorder // indexed by shard ID
+	wait          []*stats.Recorder // indexed by node index
+	reads, writes []int64           // indexed by node index
+}
+
+func (c *Cluster) newRunState() *runState {
+	st := &runState{
+		shard:  make([]*stats.Recorder, len(c.shards)),
+		wait:   make([]*stats.Recorder, len(c.nodes)),
+		reads:  make([]int64, len(c.nodes)),
+		writes: make([]int64, len(c.nodes)),
 	}
-	runShard := make([]*stats.Recorder, len(c.shards))
 	for i, sh := range c.shards {
-		runShard[i] = stats.NewRecorder(sh.rec.Name())
+		st.shard[i] = c.newRecorder(sh.rec.Name())
 	}
-	report := Report{Allocator: c.cfg.Allocator, Service: c.cfg.Service()}
-
-	for {
-		req, ok := d.Next()
-		if !ok {
-			break
-		}
-		sh := c.shards[c.router.ShardForKey(req.Key)]
-		n := sh.node
-		if req.At.After(n.sched.Now()) {
-			// Idle until the arrival: run background machinery up to it.
-			n.sched.RunUntil(req.At)
-		}
-		wait := n.sched.Now().Sub(req.At) // >0 when the server was busy
-		var raw simtime.Duration
-		preMapped := false
-		switch req.Op {
-		case workload.OpWrite:
-			raw = sh.svc.Insert(req.Key, req.ValueBytes)
-			preMapped = sh.svc.LastPreMapped()
-			sh.writes++
-			report.Writes++
-		case workload.OpRead:
-			raw = sh.svc.Read(req.Key)
-			sh.reads++
-			report.Reads++
-		}
-		// The server occupies the node for the raw service time; the
-		// client observes queueing plus the jittered service time.
-		lat := wait + workload.JitterRequest(n.kernel, raw, preMapped)
-		n.sched.Advance(raw)
-		sh.requests++
-		report.Requests++
-		sh.rec.Record(lat)
-		n.rec.Record(lat)
-		runShard[sh.ID].Record(lat)
-		runNode[n.Index].Record(lat)
-		clusterRec.Record(lat)
-		waitRec.Record(wait)
+	for i, n := range c.nodes {
+		st.wait[i] = c.newRecorder(n.Name + "/wait")
 	}
+	return st
+}
 
+// serve executes one request on its shard's node: run background machinery
+// up to the arrival, measure queueing delay, perform the operation, and
+// occupy the node for the raw service time. Each node is modelled as a
+// single-threaded server (the event-loop discipline of Redis itself): a
+// request that arrives while its node is still busy queues, and its
+// recorded latency is queueing delay plus jittered service time.
+func (c *Cluster) serve(st *runState, shardID int, req workload.Request) {
+	sh := c.shards[shardID]
+	n := sh.node
+	if req.At.After(n.sched.Now()) {
+		// Idle until the arrival: run background machinery up to it.
+		n.sched.RunUntil(req.At)
+	}
+	wait := n.sched.Now().Sub(req.At) // >0 when the server was busy
+	var raw simtime.Duration
+	preMapped := false
+	switch req.Op {
+	case workload.OpWrite:
+		raw = sh.svc.Insert(req.Key, req.ValueBytes)
+		preMapped = sh.svc.LastPreMapped()
+		sh.writes++
+		st.writes[n.Index]++
+	case workload.OpRead:
+		raw = sh.svc.Read(req.Key)
+		sh.reads++
+		st.reads[n.Index]++
+	}
+	// The server occupies the node for the raw service time; the client
+	// observes queueing plus the jittered service time.
+	lat := wait + workload.JitterRequest(n.kernel, raw, preMapped)
+	n.sched.Advance(raw)
+	sh.requests++
+	st.shard[shardID].Record(lat)
+	st.wait[n.Index].Record(wait)
+}
+
+// finish settles the fleet on a common horizon, merges the run-local
+// digests into the persistent shard and node recorders, and assembles the
+// Report. Merge order is canonical — shards in ID order within a node,
+// nodes in index order across the cluster — so the Report is a pure
+// function of the per-node execution results, independent of which engine
+// produced them.
+func (c *Cluster) finish(st *runState) Report {
 	// Settle the fleet on a common horizon so background work (management
 	// threads, kswapd, daemons) finishes the same window on every node.
 	var horizon simtime.Time
@@ -481,18 +532,126 @@ func (c *Cluster) Run(load workload.LoadConfig) Report {
 		n.sched.RunUntil(horizon)
 	}
 
-	report.Cluster = clusterRec.Summarize()
-	report.Wait = waitRec.Summarize()
+	report := Report{Allocator: c.cfg.Allocator, Service: c.cfg.Service(), Stats: c.cfg.StatsBackend()}
+	clusterRec := c.newRecorder("cluster")
+	waitRec := c.newRecorder("queue-wait")
 	for i, n := range c.nodes {
+		runNode := c.newRecorder(n.Name)
+		for _, sh := range n.shards {
+			runNode.Merge(st.shard[sh.ID])
+			sh.rec.Merge(st.shard[sh.ID])
+		}
+		n.rec.Merge(runNode)
+		clusterRec.Merge(runNode)
+		waitRec.Merge(st.wait[i])
+		report.Reads += st.reads[i]
+		report.Writes += st.writes[i]
 		report.PerNode = append(report.PerNode, NodeReport{
 			Name:    n.Name,
 			Shards:  len(n.shards),
-			Latency: runNode[i].Summarize(),
+			Latency: runNode.Summarize(),
 			Kernel:  n.kernel.Stats(),
 		})
 	}
+	report.Requests = report.Reads + report.Writes
+	report.Cluster = clusterRec.Summarize()
+	report.Wait = waitRec.Summarize()
 	for i := range c.shards {
-		report.PerShard = append(report.PerShard, runShard[i].Summarize())
+		report.PerShard = append(report.PerShard, st.shard[i].Summarize())
 	}
 	return report
+}
+
+// Run drives the fleet with the open-loop stream described by load and
+// returns the digests. Requests are generated deterministically, each
+// node's clock advances monotonically, and every random draw comes from a
+// seeded per-node stream — so one (config, load) pair reproduces the run
+// exactly, on either engine.
+//
+// By default Run uses the parallel engine: the request stream is
+// partitioned per node up front (routing is deterministic) and every node
+// executes its sub-stream on its own goroutine. Nodes are causally
+// independent after routing — a request only ever touches its own node's
+// scheduler, kernel, RNG and shards — so the per-node results are
+// identical to the sequential engine's and the merged Report is
+// bit-identical. Config.Sequential selects the single-goroutine engine
+// that interleaves all nodes in global arrival order.
+//
+// Run may be called repeatedly with successive streams. Every digest in
+// the returned Report covers exactly that run (PerNode and PerShard sum to
+// Cluster); the shard and node Recorders keep accumulating across runs for
+// callers inspecting the whole history.
+func (c *Cluster) Run(load workload.LoadConfig) Report {
+	if c.cfg.Sequential || len(c.nodes) == 1 {
+		return c.RunSequential(load)
+	}
+	return c.RunParallel(load)
+}
+
+// RunSequential executes the run on one goroutine in global arrival order,
+// streaming the load with O(1) workload memory — the escape hatch the
+// parallel engine is verified against.
+func (c *Cluster) RunSequential(load workload.LoadConfig) Report {
+	d := workload.NewLoadDriver(load)
+	st := c.newRunState()
+	for {
+		req, ok := d.Next()
+		if !ok {
+			break
+		}
+		c.serve(st, c.router.ShardForKey(req.Key), req)
+	}
+	return c.finish(st)
+}
+
+// routedReq is one request bound to its shard, the unit of the per-node
+// partition.
+type routedReq struct {
+	req   workload.Request
+	shard int32
+}
+
+// RunParallel partitions the stream per node and executes each node's
+// sub-stream on its own goroutine. The partition preserves arrival order
+// within every node, which is all a node can observe; the merge in finish
+// is order-canonical, so the Report is bit-identical to RunSequential's.
+func (c *Cluster) RunParallel(load workload.LoadConfig) Report {
+	d := workload.NewLoadDriver(load)
+	perNode := make([][]routedReq, len(c.nodes))
+	if load.Requests > 0 {
+		// Pre-size assuming an even spread; skewed routings just append.
+		per := int(load.Requests)/len(c.nodes) + len(c.nodes)
+		for i := range perNode {
+			perNode[i] = make([]routedReq, 0, per)
+		}
+	}
+	for {
+		req, ok := d.Next()
+		if !ok {
+			break
+		}
+		shard := c.router.ShardForKey(req.Key)
+		node := c.shards[shard].node.Index
+		perNode[node] = append(perNode[node], routedReq{req: req, shard: int32(shard)})
+	}
+
+	st := c.newRunState()
+	var wg sync.WaitGroup
+	for i := range c.nodes {
+		reqs := perNode[i]
+		if len(reqs) == 0 {
+			// An idle node's background machinery catches up during the
+			// horizon settle in finish, exactly as in the sequential engine.
+			continue
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, rr := range reqs {
+				c.serve(st, int(rr.shard), rr.req)
+			}
+		}()
+	}
+	wg.Wait()
+	return c.finish(st)
 }

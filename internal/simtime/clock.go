@@ -102,12 +102,17 @@ func (q *eventQueue) Pop() any {
 
 // Scheduler owns the virtual clock and the pending-event queue. It is not
 // safe for concurrent use: the simulation is single-threaded by design so
-// that results are deterministic.
+// that results are deterministic. (A cluster runs one Scheduler per node;
+// parallelism happens across schedulers, never within one.)
 type Scheduler struct {
 	now    Time
 	seq    uint64
 	queue  eventQueue
-	inHook bool
+	firing bool
+
+	// pool recycles fired and cancelled Events so steady-state scheduling
+	// (periodic daemon ticks, kswapd scans) does not allocate.
+	pool []*Event
 }
 
 // NewScheduler returns a scheduler with the clock at zero and no events.
@@ -129,9 +134,25 @@ func (s *Scheduler) Schedule(at Time, fn func(*Scheduler)) *Event {
 		panic("simtime: nil event callback")
 	}
 	s.seq++
-	e := &Event{at: at, seq: s.seq, fn: fn}
+	var e *Event
+	if n := len(s.pool); n > 0 {
+		e = s.pool[n-1]
+		s.pool[n-1] = nil
+		s.pool = s.pool[:n-1]
+		e.at, e.seq, e.fn = at, s.seq, fn
+	} else {
+		e = &Event{at: at, seq: s.seq, fn: fn}
+	}
 	heap.Push(&s.queue, e)
 	return e
+}
+
+// release returns a no-longer-pending event to the pool for reuse by a
+// future Schedule call.
+func (s *Scheduler) release(e *Event) {
+	e.fn = nil
+	e.index = -1
+	s.pool = append(s.pool, e)
 }
 
 // ScheduleAfter registers fn to run d after the current instant. Negative
@@ -143,14 +164,17 @@ func (s *Scheduler) ScheduleAfter(d Duration, fn func(*Scheduler)) *Event {
 	return s.Schedule(s.now.Add(d), fn)
 }
 
-// Cancel removes a pending event. Cancelling an already-fired or
+// Cancel removes a pending event. Cancelling a nil, already-fired or
 // already-cancelled event is a no-op, which keeps caller bookkeeping simple.
+// Fired events are recycled by later Schedule calls, so a caller must not
+// retain an event past its firing and Cancel it afterwards — drop the
+// pointer (or nil it out) once the callback has run, as PeriodicTask does.
 func (s *Scheduler) Cancel(e *Event) {
 	if e == nil || e.index < 0 {
 		return
 	}
 	heap.Remove(&s.queue, e.index)
-	e.index = -1
+	s.release(e)
 }
 
 // Pending returns the number of events waiting to fire.
@@ -165,19 +189,43 @@ func (s *Scheduler) PeekNext() (Time, bool) {
 	return s.queue[0].at, true
 }
 
+// fireNext pops the earliest pending event, advances the clock to its
+// instant, recycles the Event, and runs its callback. The Event is released
+// before the callback so a self-rescheduling task (the common periodic-tick
+// pattern) reuses the same hot object. Callers must have checked the queue
+// is non-empty and set s.firing.
+func (s *Scheduler) fireNext() {
+	e := heap.Pop(&s.queue).(*Event)
+	s.now = e.at
+	fn := e.fn
+	s.release(e)
+	fn(s)
+}
+
+// enterRun guards the two run loops against re-entrancy: an event callback
+// calling RunUntil/Advance/Drain would nest firing loops and corrupt the
+// causal order (the inner loop would advance the clock under the outer
+// one). Callbacks must schedule follow-up work instead.
+func (s *Scheduler) enterRun(op string) {
+	if s.firing {
+		panic(fmt.Sprintf("simtime: re-entrant %s from inside an event callback", op))
+	}
+	s.firing = true
+}
+
 // RunUntil fires every event scheduled at or before horizon, in causal
 // order, then advances the clock to horizon. It returns the number of events
 // fired. Events may schedule further events; those are honoured if they fall
-// within the horizon.
+// within the horizon. Calling RunUntil from inside an event callback panics.
 func (s *Scheduler) RunUntil(horizon Time) int {
 	if horizon < s.now {
 		panic(fmt.Sprintf("simtime: RunUntil horizon %v before now %v", horizon, s.now))
 	}
+	s.enterRun("RunUntil")
+	defer func() { s.firing = false }()
 	fired := 0
 	for len(s.queue) > 0 && s.queue[0].at <= horizon {
-		e := heap.Pop(&s.queue).(*Event)
-		s.now = e.at
-		e.fn(s)
+		s.fireNext()
 		fired++
 	}
 	s.now = horizon
@@ -194,15 +242,16 @@ func (s *Scheduler) Advance(d Duration) int {
 // Drain runs events until the queue is empty or limit events have fired.
 // It returns the number fired. A limit of 0 means no limit; the cap exists
 // so a misbehaving self-rescheduling task cannot hang a test forever.
+// Like RunUntil, calling Drain from inside an event callback panics.
 func (s *Scheduler) Drain(limit int) int {
+	s.enterRun("Drain")
+	defer func() { s.firing = false }()
 	fired := 0
 	for len(s.queue) > 0 {
 		if limit > 0 && fired >= limit {
 			break
 		}
-		e := heap.Pop(&s.queue).(*Event)
-		s.now = e.at
-		e.fn(s)
+		s.fireNext()
 		fired++
 	}
 	return fired

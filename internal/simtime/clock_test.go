@@ -163,3 +163,122 @@ func TestTimeHelpers(t *testing.T) {
 		t.Fatal("After broken")
 	}
 }
+
+func TestEventPoolReusesFiredEvents(t *testing.T) {
+	s := NewScheduler()
+	first := s.Schedule(10, func(*Scheduler) {})
+	s.RunUntil(10)
+	second := s.Schedule(20, func(*Scheduler) {})
+	if first != second {
+		t.Error("fired event was not recycled by the next Schedule")
+	}
+	s.RunUntil(20)
+}
+
+func TestEventPoolReusesCancelledEvents(t *testing.T) {
+	s := NewScheduler()
+	e := s.Schedule(10, func(*Scheduler) { t.Error("cancelled event fired") })
+	s.Cancel(e)
+	reused := s.Schedule(15, func(*Scheduler) {})
+	if e != reused {
+		t.Error("cancelled event was not recycled by the next Schedule")
+	}
+	if got := s.RunUntil(20); got != 1 {
+		t.Fatalf("fired %d events, want 1", got)
+	}
+}
+
+func TestScheduleAllocatesOncePerPoolSlot(t *testing.T) {
+	s := NewScheduler()
+	// Steady-state self-rescheduling must not allocate: the fired event is
+	// recycled for the next tick.
+	ticks := 0
+	var tick func(*Scheduler)
+	tick = func(sc *Scheduler) {
+		ticks++
+		if ticks < 100 {
+			sc.ScheduleAfter(10, tick)
+		}
+	}
+	s.ScheduleAfter(10, tick)
+	allocs := testing.AllocsPerRun(1, func() {
+		for ticks < 100 {
+			s.Advance(10)
+		}
+	})
+	if ticks != 100 {
+		t.Fatalf("ticks = %d, want 100", ticks)
+	}
+	if allocs > 0 {
+		t.Errorf("steady-state scheduling allocated %v objects per run, want 0", allocs)
+	}
+}
+
+func TestRunUntilReentrancyPanics(t *testing.T) {
+	s := NewScheduler()
+	s.Schedule(10, func(sc *Scheduler) {
+		defer func() {
+			if recover() == nil {
+				t.Error("re-entrant RunUntil from a callback must panic")
+			}
+		}()
+		sc.RunUntil(20)
+	})
+	s.RunUntil(15)
+	// The guard must reset: a later top-level run loop still works.
+	s.Schedule(30, func(*Scheduler) {})
+	if got := s.RunUntil(40); got != 1 {
+		t.Fatalf("post-panic RunUntil fired %d events, want 1", got)
+	}
+}
+
+func TestDrainReentrancyPanics(t *testing.T) {
+	s := NewScheduler()
+	s.Schedule(10, func(sc *Scheduler) {
+		defer func() {
+			if recover() == nil {
+				t.Error("re-entrant Drain from a callback must panic")
+			}
+		}()
+		sc.Drain(0)
+	})
+	if got := s.Drain(0); got != 1 {
+		t.Fatalf("Drain fired %d events, want 1", got)
+	}
+}
+
+func TestDrainMatchesRunUntilOrdering(t *testing.T) {
+	run := func(drain bool) []int {
+		s := NewScheduler()
+		var order []int
+		for i, at := range []Time{30, 10, 20, 10} {
+			i := i
+			s.Schedule(at, func(*Scheduler) { order = append(order, i) })
+		}
+		if drain {
+			s.Drain(0)
+		} else {
+			s.RunUntil(30)
+		}
+		return order
+	}
+	a, b := run(false), run(true)
+	if len(a) != len(b) {
+		t.Fatalf("fired %d vs %d events", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("RunUntil order %v != Drain order %v", a, b)
+		}
+	}
+}
+
+func BenchmarkScheduleFire(b *testing.B) {
+	s := NewScheduler()
+	fn := func(*Scheduler) {}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.ScheduleAfter(10, fn)
+		s.Advance(10)
+	}
+}

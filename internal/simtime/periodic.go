@@ -42,6 +42,10 @@ func (p *PeriodicTask) run(s *Scheduler) {
 	if p.stopped {
 		return
 	}
+	// The event that fired us is being recycled by the scheduler; drop the
+	// stale pointer so a Stop from inside the tick cannot cancel whatever
+	// event the scheduler hands out next.
+	p.event = nil
 	start := s.Now()
 	busy := p.tick(start)
 	if busy < 0 {
@@ -49,6 +53,9 @@ func (p *PeriodicTask) run(s *Scheduler) {
 	}
 	p.Ticks++
 	p.Busy += busy
+	if p.stopped { // the tick stopped its own task
+		return
+	}
 	next := start.Add(p.period)
 	if end := start.Add(busy); next < end {
 		next = end
@@ -63,6 +70,7 @@ func (p *PeriodicTask) Stop() {
 	}
 	p.stopped = true
 	p.sched.Cancel(p.event)
+	p.event = nil
 }
 
 // Stopped reports whether Stop has been called.

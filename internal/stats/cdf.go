@@ -17,8 +17,16 @@ type CDFPoint struct {
 // (0, 1]. This matches how the paper plots Figures 3, 7, 8, 11, 12: latency
 // on the x-axis, cumulative fraction on the y-axis.
 func (r *Recorder) CDF(n int) []CDFPoint {
-	if n <= 0 || len(r.samples) == 0 {
+	if n <= 0 || r.Count() == 0 {
 		return nil
+	}
+	if r.hist != nil {
+		points := make([]CDFPoint, 0, n)
+		for i := 1; i <= n; i++ {
+			frac := float64(i) / float64(n)
+			points = append(points, CDFPoint{Latency: r.hist.Quantile(frac * 100), Fraction: frac})
+		}
+		return points
 	}
 	r.ensureSorted()
 	points := make([]CDFPoint, 0, n)
@@ -39,13 +47,28 @@ func (r *Recorder) CDF(n int) []CDFPoint {
 // TailCDF returns CDF points covering only the [from, 1] fraction range,
 // the zoomed tail view of Figures 11 and 12 (0.90–0.99).
 func (r *Recorder) TailCDF(from float64, n int) []CDFPoint {
-	if n <= 0 || len(r.samples) == 0 || from < 0 || from >= 1 {
+	if n <= 0 || r.Count() == 0 || from < 0 || from >= 1 {
 		return nil
+	}
+	span := float64(n - 1)
+	if span == 0 {
+		span = 1 // a single point sits at `from`, not at NaN
+	}
+	if r.hist != nil {
+		points := make([]CDFPoint, 0, n)
+		for i := 0; i < n; i++ {
+			frac := from + (1-from)*float64(i)/span
+			if frac > 1 {
+				frac = 1
+			}
+			points = append(points, CDFPoint{Latency: r.hist.Quantile(frac * 100), Fraction: frac})
+		}
+		return points
 	}
 	r.ensureSorted()
 	points := make([]CDFPoint, 0, n)
 	for i := 0; i < n; i++ {
-		frac := from + (1-from)*float64(i)/float64(n-1)
+		frac := from + (1-from)*float64(i)/span
 		if frac > 1 {
 			frac = 1
 		}

@@ -1,0 +1,223 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"time"
+)
+
+// zipfLatencies draws a heavy-tailed latency population shaped like the
+// cluster workload's: a log-normal body (the jittered service times) with a
+// Zipf-ranked spike tail (queueing behind reclaim stalls).
+func zipfLatencies(n int, seed uint64) []time.Duration {
+	rng := rand.New(rand.NewPCG(seed, seed))
+	zipf := rand.NewZipf(rng, 1.2, 1, 1<<20)
+	out := make([]time.Duration, n)
+	for i := range out {
+		body := 3000 * math.Exp(rng.NormFloat64()*0.4) // ~3µs log-normal body
+		spike := float64(zipf.Uint64())                // rare large queueing spikes
+		out[i] = time.Duration(body + 50*spike)
+	}
+	return out
+}
+
+func TestHistogramQuantileErrorBound(t *testing.T) {
+	for _, seed := range []uint64{1, 7, 42} {
+		exact := NewRecorder("exact")
+		hist := NewStreamingRecorder("hist")
+		for _, d := range zipfLatencies(200_000, seed) {
+			exact.Record(d)
+			hist.Record(d)
+		}
+		for _, q := range []float64{10, 25, 50, 75, 90, 95, 99, 99.9} {
+			e, h := exact.Percentile(q), hist.Percentile(q)
+			relErr := math.Abs(float64(h-e)) / float64(e)
+			if relErr > 0.01 {
+				t.Errorf("seed %d p%v: exact=%v hist=%v rel err %.3f%% > 1%%",
+					seed, q, e, h, relErr*100)
+			}
+		}
+		if hist.Min() != exact.Min() || hist.Max() != exact.Max() {
+			t.Errorf("seed %d: extrema not exact: hist [%v,%v] vs raw [%v,%v]",
+				seed, hist.Min(), hist.Max(), exact.Min(), exact.Max())
+		}
+		if hist.Total() != exact.Total() || hist.Count() != exact.Count() {
+			t.Errorf("seed %d: sum/count not exact", seed)
+		}
+	}
+}
+
+func TestHistogramMemoryBounded(t *testing.T) {
+	h := NewHistogram()
+	rng := rand.New(rand.NewPCG(3, 3))
+	for i := 0; i < 1_000_000; i++ {
+		h.Record(time.Duration(rng.Int64N(int64(10 * time.Second))))
+	}
+	if h.Buckets() > MaxBuckets() {
+		t.Fatalf("histogram grew to %d buckets, ceiling is %d", h.Buckets(), MaxBuckets())
+	}
+	if MaxBuckets() > 8192 {
+		t.Fatalf("bucket ceiling %d is larger than the documented ~64 KB bound", MaxBuckets())
+	}
+	if h.Count() != 1_000_000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+}
+
+func TestHistogramExtremeValues(t *testing.T) {
+	h := NewHistogram()
+	vals := []time.Duration{0, 1, 255, 256, 257, 1 << 40, math.MaxInt64}
+	for _, v := range vals {
+		h.Record(v)
+	}
+	if h.Min() != 0 || h.Max() != math.MaxInt64 {
+		t.Fatalf("extrema [%v,%v]", h.Min(), h.Max())
+	}
+	// Small values land in exact unit buckets.
+	hh := NewHistogram()
+	hh.Record(137)
+	if got := hh.Quantile(50); got != 137 {
+		t.Fatalf("linear-region quantile = %v, want exactly 137", got)
+	}
+}
+
+func TestHistogramBucketRoundTrip(t *testing.T) {
+	// Every bucket's representative value must map back to that bucket, and
+	// bucket indices must be monotone in the value.
+	prev := -1
+	for _, v := range []int64{0, 1, 100, 255, 256, 300, 511, 512, 1 << 13, 1 << 20, 1 << 35, 1 << 55} {
+		idx := histBucket(time.Duration(v))
+		if idx <= prev && v != 0 {
+			t.Fatalf("bucket index not monotone at %d: %d <= %d", v, idx, prev)
+		}
+		prev = idx
+		if back := histBucket(histValue(idx)); back != idx {
+			t.Fatalf("value %d: bucket %d representative %v maps to bucket %d",
+				v, idx, histValue(idx), back)
+		}
+	}
+}
+
+func TestHistogramMergeMatchesCombinedRecording(t *testing.T) {
+	a, b, all := NewHistogram(), NewHistogram(), NewHistogram()
+	for i, d := range zipfLatencies(50_000, 9) {
+		all.Record(d)
+		if i%2 == 0 {
+			a.Record(d)
+		} else {
+			b.Record(d)
+		}
+	}
+	a.Merge(b)
+	if a.Count() != all.Count() || a.Sum() != all.Sum() || a.Min() != all.Min() || a.Max() != all.Max() {
+		t.Fatal("merged histogram header differs from combined recording")
+	}
+	for _, q := range []float64{1, 50, 99, 99.9} {
+		if a.Quantile(q) != all.Quantile(q) {
+			t.Fatalf("p%v: merged %v != combined %v", q, a.Quantile(q), all.Quantile(q))
+		}
+	}
+}
+
+func TestHistogramViolationRatioApproximation(t *testing.T) {
+	r := NewStreamingRecorder("v")
+	for i := 1; i <= 1000; i++ {
+		r.Record(time.Duration(i) * time.Microsecond)
+	}
+	// Threshold at 500µs: exact answer 0.5; bucket resolution admits ≤1/128
+	// of slack on the boundary bucket.
+	got := r.ViolationRatio(500 * time.Microsecond)
+	if got < 0.48 || got > 0.52 {
+		t.Fatalf("ViolationRatio = %v, want ≈0.5", got)
+	}
+}
+
+func TestRecorderMergeRaw(t *testing.T) {
+	a, b, all := NewRecorder("a"), NewRecorder("b"), NewRecorder("all")
+	for i, d := range zipfLatencies(10_000, 5) {
+		all.Record(d)
+		if i%3 == 0 {
+			a.Record(d)
+		} else {
+			b.Record(d)
+		}
+	}
+	a.Merge(b)
+	if a.Count() != all.Count() || a.Total() != all.Total() {
+		t.Fatal("merged raw recorder count/total differ from combined recording")
+	}
+	for _, q := range []float64{0, 25, 50, 99, 100} {
+		if a.Percentile(q) != all.Percentile(q) {
+			t.Fatalf("p%v: merged %v != combined %v", q, a.Percentile(q), all.Percentile(q))
+		}
+	}
+	if a.Summarize().At("p99") != all.Summarize().At("p99") {
+		t.Fatal("merged summary differs")
+	}
+}
+
+func TestRecorderMergeMixedModePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mixed-mode merge must panic")
+		}
+	}()
+	NewRecorder("raw").Merge(NewStreamingRecorder("hist"))
+}
+
+func TestStreamingRecorderSummaryAndCDF(t *testing.T) {
+	r := NewStreamingRecorder("s")
+	for i := 1; i <= 10_000; i++ {
+		r.Record(time.Duration(i))
+	}
+	s := r.Summarize()
+	if s.Count != 10_000 || s.Name != "s" {
+		t.Fatalf("summary header %+v", s)
+	}
+	if !(s.P50 <= s.P75 && s.P75 <= s.P90 && s.P90 <= s.P95 && s.P95 <= s.P99 && s.P99 <= s.Max) {
+		t.Fatalf("percentiles not monotone: %+v", s)
+	}
+	cdf := r.CDF(10)
+	if len(cdf) != 10 {
+		t.Fatalf("CDF returned %d points", len(cdf))
+	}
+	if cdf[9].Latency != r.Max() {
+		t.Fatalf("CDF tail %v != max %v", cdf[9].Latency, r.Max())
+	}
+	if tail := r.TailCDF(0.9, 5); len(tail) != 5 {
+		t.Fatalf("TailCDF returned %d points", len(tail))
+	}
+	// A single-point tail must sit at `from`, not at a NaN fraction.
+	for _, rec := range []*Recorder{r, NewRecorder("raw1")} {
+		if rec.Count() == 0 {
+			rec.Record(7)
+		}
+		one := rec.TailCDF(0.9, 1)
+		if len(one) != 1 || one[0].Fraction != 0.9 {
+			t.Fatalf("TailCDF(0.9, 1) = %+v, want one point at fraction 0.9", one)
+		}
+	}
+}
+
+func BenchmarkRecorderRaw(b *testing.B) {
+	r := NewRecorder("bench")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Record(time.Duration(i%100000) * time.Nanosecond)
+	}
+	if b.N > 1 {
+		_ = r.Summarize()
+	}
+}
+
+func BenchmarkRecorderStreaming(b *testing.B) {
+	r := NewStreamingRecorder("bench")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Record(time.Duration(i%100000) * time.Nanosecond)
+	}
+	if b.N > 1 {
+		_ = r.Summarize()
+	}
+}

@@ -10,50 +10,110 @@ import (
 	"time"
 )
 
-// Recorder accumulates latency samples. Experiments record at most a few
-// million samples, so the recorder keeps the raw values: exact percentiles
-// matter more here than memory, and raw samples also let tests assert CDF
-// shapes directly.
+// Recorder accumulates latency samples in one of two modes.
+//
+// Raw mode (NewRecorder) keeps every sample: exact percentiles, and raw
+// samples let tests assert CDF shapes directly. It is the right mode for
+// the paper's figure-scale experiments, which record at most a few million
+// samples.
+//
+// Streaming mode (NewStreamingRecorder) digests samples into a log-bucketed
+// Histogram: O(1) Record, memory bounded by the bucket ceiling regardless
+// of sample count, percentiles within ≤1% relative error. It is the right
+// mode for fleet-scale cluster runs serving millions of requests.
 type Recorder struct {
 	name    string
 	samples []time.Duration
 	sorted  bool
 	sum     time.Duration
+	hist    *Histogram // non-nil in streaming mode
 }
 
-// NewRecorder returns an empty recorder labelled name (used in rendered
-// tables, e.g. "Hermes+anon").
+// NewRecorder returns an empty raw-mode recorder labelled name (used in
+// rendered tables, e.g. "Hermes+anon").
 func NewRecorder(name string) *Recorder {
 	return &Recorder{name: name}
+}
+
+// NewStreamingRecorder returns an empty streaming (histogram-mode) recorder:
+// bounded memory, O(1) Record, ≤1% relative percentile error.
+func NewStreamingRecorder(name string) *Recorder {
+	return &Recorder{name: name, hist: NewHistogram()}
 }
 
 // Name returns the recorder's label.
 func (r *Recorder) Name() string { return r.name }
 
-// Record appends one latency sample. Negative samples indicate a bug in the
+// Streaming reports whether the recorder digests into a histogram instead
+// of keeping raw samples.
+func (r *Recorder) Streaming() bool { return r.hist != nil }
+
+// Histogram returns the streaming digest, or nil in raw mode.
+func (r *Recorder) Histogram() *Histogram { return r.hist }
+
+// Record adds one latency sample. Negative samples indicate a bug in the
 // cost model and panic rather than silently skewing percentiles.
 func (r *Recorder) Record(d time.Duration) {
 	if d < 0 {
 		panic(fmt.Sprintf("stats: negative latency sample %v in %q", d, r.name))
+	}
+	if r.hist != nil {
+		r.hist.Record(d)
+		return
 	}
 	r.samples = append(r.samples, d)
 	r.sorted = false
 	r.sum += d
 }
 
+// Merge folds o's samples into r without re-recording them one by one: raw
+// recorders append o's sample slice, streaming recorders add bucket counts
+// in O(buckets). Cluster runs use it to fold run-local digests into the
+// persistent per-shard recorders and to build node/cluster rollups. Both
+// recorders must be in the same mode; o is left unchanged.
+func (r *Recorder) Merge(o *Recorder) {
+	if o == nil {
+		return
+	}
+	if (r.hist != nil) != (o.hist != nil) {
+		panic(fmt.Sprintf("stats: merge of mixed-mode recorders %q and %q", r.name, o.name))
+	}
+	if r.hist != nil {
+		r.hist.Merge(o.hist)
+		return
+	}
+	if len(o.samples) == 0 {
+		return
+	}
+	r.samples = append(r.samples, o.samples...)
+	r.sorted = false
+	r.sum += o.sum
+}
+
 // Count returns the number of recorded samples.
-func (r *Recorder) Count() int { return len(r.samples) }
+func (r *Recorder) Count() int {
+	if r.hist != nil {
+		return int(r.hist.Count())
+	}
+	return len(r.samples)
+}
 
 // Mean returns the average sample, or 0 when empty.
 func (r *Recorder) Mean() time.Duration {
-	if len(r.samples) == 0 {
+	n := r.Count()
+	if n == 0 {
 		return 0
 	}
-	return r.sum / time.Duration(len(r.samples))
+	return r.Total() / time.Duration(n)
 }
 
 // Total returns the sum of all samples.
-func (r *Recorder) Total() time.Duration { return r.sum }
+func (r *Recorder) Total() time.Duration {
+	if r.hist != nil {
+		return r.hist.Sum()
+	}
+	return r.sum
+}
 
 func (r *Recorder) ensureSorted() {
 	if r.sorted {
@@ -63,10 +123,14 @@ func (r *Recorder) ensureSorted() {
 	r.sorted = true
 }
 
-// Percentile returns the q-th percentile (q in [0,100]) using linear
-// interpolation between closest ranks, matching numpy's default, which is
-// what the paper's plotting scripts would have used.
+// Percentile returns the q-th percentile (q in [0,100]). Raw mode uses
+// linear interpolation between closest ranks, matching numpy's default,
+// which is what the paper's plotting scripts would have used; streaming
+// mode returns the histogram quantile (≤1% relative error).
 func (r *Recorder) Percentile(q float64) time.Duration {
+	if r.hist != nil {
+		return r.hist.Quantile(q)
+	}
 	if len(r.samples) == 0 {
 		return 0
 	}
@@ -90,8 +154,11 @@ func (r *Recorder) Percentile(q float64) time.Duration {
 	return r.samples[lo] + time.Duration(frac*float64(r.samples[hi]-r.samples[lo]))
 }
 
-// Max returns the largest sample, or 0 when empty.
+// Max returns the largest sample, or 0 when empty. Exact in both modes.
 func (r *Recorder) Max() time.Duration {
+	if r.hist != nil {
+		return r.hist.Max()
+	}
 	if len(r.samples) == 0 {
 		return 0
 	}
@@ -99,8 +166,11 @@ func (r *Recorder) Max() time.Duration {
 	return r.samples[len(r.samples)-1]
 }
 
-// Min returns the smallest sample, or 0 when empty.
+// Min returns the smallest sample, or 0 when empty. Exact in both modes.
 func (r *Recorder) Min() time.Duration {
+	if r.hist != nil {
+		return r.hist.Min()
+	}
 	if len(r.samples) == 0 {
 		return 0
 	}
@@ -109,8 +179,15 @@ func (r *Recorder) Min() time.Duration {
 }
 
 // ViolationRatio returns the fraction of samples strictly above slo — the
-// paper's SLO-violation metric (Figs 13, 14).
+// paper's SLO-violation metric (Figs 13, 14). Exact in raw mode; streaming
+// mode resolves the threshold to bucket granularity.
 func (r *Recorder) ViolationRatio(slo time.Duration) float64 {
+	if r.hist != nil {
+		if r.hist.Count() == 0 {
+			return 0
+		}
+		return float64(r.hist.CountAbove(slo)) / float64(r.hist.Count())
+	}
 	if len(r.samples) == 0 {
 		return 0
 	}
@@ -138,7 +215,7 @@ type Summary struct {
 func (r *Recorder) Summarize() Summary {
 	return Summary{
 		Name:  r.name,
-		Count: len(r.samples),
+		Count: r.Count(),
 		Mean:  r.Mean(),
 		P50:   r.Percentile(50),
 		P75:   r.Percentile(75),
