@@ -59,10 +59,62 @@ type Block struct {
 	touched bool
 	freed   bool
 
-	// Meta carries allocator-private bookkeeping (e.g. the heap chunk's
-	// byte range for coalescing-with-top on free).
-	Meta any
+	// Meta carries allocator-private bookkeeping inline (e.g. the heap
+	// chunk's byte range for coalescing-with-top on free). It used to be an
+	// `any`: boxing the per-allocator meta struct into an interface heap-
+	// allocated on every malloc, which the zero-allocation request path
+	// cannot afford (see docs/ARCHITECTURE.md, "Hot path & memory
+	// discipline").
+	Meta BlockMeta
 }
+
+// BlockMeta is two opaque words of allocator-private bookkeeping plus a tag
+// identifying the allocator path that wrote them, so free-path routing can
+// still reject foreign blocks.
+type BlockMeta struct {
+	Tag  MetaTag
+	A, B int64
+}
+
+// MetaTag identifies the allocator path that owns a block's Meta words.
+type MetaTag uint8
+
+// The meta tags of the allocator models. Hermes shares MetaGlibcHeap for
+// its heap blocks (its small path is literally the Glibc model's).
+const (
+	MetaNone MetaTag = iota
+	MetaGlibcHeap
+	MetaJemalloc
+	MetaTCMalloc
+)
+
+// BlockPool recycles Block objects within one allocator, so steady-state
+// malloc/free cycles stop producing garbage: a freed Block returns to the
+// pool and the next Malloc reuses it. Reuse resets the object, which
+// retires the double-free safety net for handles freed before the reuse —
+// the price of a zero-allocation steady state (stale handles still panic
+// until the object is reused).
+type BlockPool struct {
+	free []*Block
+}
+
+// Get returns a Block for reuse. The Block's contents are unspecified —
+// the caller must fully assign it (`*b = Block{...}`) before handing it
+// out; every allocator's construction site does exactly that, so Get does
+// not pay for a redundant zeroing on the hot path.
+func (p *BlockPool) Get() *Block {
+	if n := len(p.free); n > 0 {
+		b := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		return b
+	}
+	return &Block{}
+}
+
+// Put parks a freed Block for reuse. Callers must not touch the Block
+// afterwards.
+func (p *BlockPool) Put(b *Block) { p.free = append(p.free, b) }
 
 // Touched reports whether the block has been written at least once.
 func (b *Block) Touched() bool { return b.touched }

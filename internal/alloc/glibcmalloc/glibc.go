@@ -18,6 +18,7 @@ import (
 	"sort"
 
 	"github.com/hermes-sim/hermes/internal/alloc"
+	"github.com/hermes-sim/hermes/internal/flatmap"
 	"github.com/hermes-sim/hermes/internal/kernel"
 	"github.com/hermes-sim/hermes/internal/simtime"
 )
@@ -65,10 +66,22 @@ type freeChunk struct {
 	size  int64
 }
 
-// heapMeta is the Block.Meta payload for heap blocks.
+// heapMeta is the Block.Meta payload for heap blocks, carried inline in the
+// Block's two meta words.
 type heapMeta struct {
 	start int64
 	size  int64
+}
+
+func (m heapMeta) encode() alloc.BlockMeta {
+	return alloc.BlockMeta{Tag: alloc.MetaGlibcHeap, A: m.start, B: m.size}
+}
+
+func decodeHeapMeta(b *Block) heapMeta {
+	if b.Meta.Tag != alloc.MetaGlibcHeap {
+		panic("glibcmalloc: heap block without heap metadata")
+	}
+	return heapMeta{start: b.Meta.A, size: b.Meta.B}
 }
 
 // Allocator is the ptmalloc model for one process.
@@ -86,11 +99,13 @@ type Allocator struct {
 	// byEnd indexes free chunks by their end offset for coalescing with
 	// the top chunk; binPos maps a free chunk's start offset to its index
 	// in its bin list, so coalescing removals are O(1) instead of a scan
-	// over every same-sized chunk.
-	bins   map[int64][]freeChunk
+	// over every same-sized chunk. All three indexes are flat tables: the
+	// free/malloc cycle probes them on every request, so they must not
+	// churn Go maps.
+	bins   *flatmap.Map[[]freeChunk]
 	sizes  []int64
-	byEnd  map[int64]freeChunk
-	binPos map[int64]int
+	byEnd  *flatmap.Map[freeChunk]
+	binPos *flatmap.Map[int32]
 
 	binnedBytes int64
 
@@ -107,6 +122,9 @@ type Allocator struct {
 
 	mmapBytes int64
 	stats     alloc.Stats
+
+	// blocks recycles Block objects across malloc/free cycles.
+	blocks alloc.BlockPool
 }
 
 var _ alloc.Allocator = (*Allocator)(nil)
@@ -120,9 +138,9 @@ func New(k *kernel.Kernel, name string, cfg Config) *Allocator {
 		k:      k,
 		proc:   k.CreateProcess(name),
 		cfg:    cfg,
-		bins:   make(map[int64][]freeChunk),
-		byEnd:  make(map[int64]freeChunk),
-		binPos: make(map[int64]int),
+		bins:   flatmap.New[[]freeChunk](0),
+		byEnd:  flatmap.New[freeChunk](0),
+		binPos: flatmap.New[int32](0),
 	}
 }
 
@@ -222,16 +240,17 @@ func (a *Allocator) MallocSmall(at simtime.Time, size int64) (*Block, simtime.Du
 	chunk := a.chunkSize(size)
 	cost := a.cfg.MallocFastCost
 
-	// 1. Exact-fit bin.
-	if list := a.bins[chunk]; len(list) != 0 {
+	// 1. Exact-fit bin. Emptied bins keep their (empty) slice in the map so
+	// the steady-state free/malloc cycle reuses its capacity instead of
+	// reallocating it; the sizes index alone says which bins are live.
+	if list, _ := a.bins.Get(chunk); len(list) != 0 {
 		fc := list[len(list)-1]
-		a.bins[chunk] = list[:len(list)-1]
-		if len(a.bins[chunk]) == 0 {
-			delete(a.bins, chunk)
+		a.bins.Put(chunk, list[:len(list)-1])
+		if len(list) == 1 {
 			a.dropSize(chunk)
 		}
-		delete(a.byEnd, fc.start+fc.size)
-		delete(a.binPos, fc.start)
+		a.byEnd.Delete(fc.start + fc.size)
+		a.binPos.Delete(fc.start)
 		a.binnedBytes -= fc.size
 		return a.heapBlock(size, fc.start, fc.size), cost
 	}
@@ -240,15 +259,14 @@ func (a *Allocator) MallocSmall(at simtime.Time, size int64) (*Block, simtime.Du
 	if idx := sort.Search(len(a.sizes), func(i int) bool { return a.sizes[i] >= chunk }); idx < len(a.sizes) {
 		cost += simtime.Duration(idx+1) * a.cfg.BinProbeCost
 		sz := a.sizes[idx]
-		list := a.bins[sz]
+		list, _ := a.bins.Get(sz)
 		fc := list[len(list)-1]
-		a.bins[sz] = list[:len(list)-1]
-		if len(a.bins[sz]) == 0 {
-			delete(a.bins, sz)
+		a.bins.Put(sz, list[:len(list)-1])
+		if len(list) == 1 {
 			a.dropSize(sz)
 		}
-		delete(a.byEnd, fc.start+fc.size)
-		delete(a.binPos, fc.start)
+		a.byEnd.Delete(fc.start + fc.size)
+		a.binPos.Delete(fc.start)
 		a.binnedBytes -= fc.size
 		if rem := fc.size - chunk; rem >= 32 {
 			a.insertFree(freeChunk{start: fc.start + chunk, size: rem})
@@ -276,17 +294,20 @@ func (a *Allocator) MallocSmall(at simtime.Time, size int64) (*Block, simtime.Du
 	return a.heapBlock(size, start, chunk), cost
 }
 
-// heapBlock builds the Block for a heap range.
+// heapBlock builds the Block for a heap range (pooled, so the steady state
+// allocates nothing).
 func (a *Allocator) heapBlock(size, start, chunk int64) *Block {
 	ps := a.k.PageSize()
-	return &Block{
+	b := a.blocks.Get()
+	*b = Block{
 		Size:      size,
 		ChunkSize: chunk,
 		Kind:      alloc.BlockHeap,
 		Region:    a.proc.Heap(),
 		EndPage:   (start + chunk + ps - 1) / ps,
-		Meta:      heapMeta{start: start, size: chunk},
+		Meta:      heapMeta{start: start, size: chunk}.encode(),
 	}
+	return b
 }
 
 // GrowHeap expands the break by at least `bytes` (rounded up to pages) and
@@ -327,13 +348,15 @@ func (a *Allocator) mallocMmap(at simtime.Time, size int64) (*Block, simtime.Dur
 	cost += a.cfg.MallocFastCost
 	a.mmapBytes += pages * ps
 	a.stats.MmapBytes = a.mmapBytes
-	return &Block{
+	b := a.blocks.Get()
+	*b = Block{
 		Size:      size,
 		ChunkSize: pages * ps,
 		Kind:      alloc.BlockMmap,
 		Region:    region,
 		EndPage:   pages,
-	}, cost
+	}
+	return b, cost
 }
 
 // Free implements alloc.Allocator.
@@ -347,23 +370,22 @@ func (a *Allocator) Free(at simtime.Time, b *Block) simtime.Duration {
 		cost := a.k.Munmap(at, b.Region, pages)
 		a.mmapBytes -= pages * a.k.PageSize()
 		a.stats.MmapBytes = a.mmapBytes
+		a.blocks.Put(b)
 		return cost + a.cfg.FreeCost
 	}
 	return a.freeHeap(at, b)
 }
 
 func (a *Allocator) freeHeap(at simtime.Time, b *Block) simtime.Duration {
-	meta, ok := b.Meta.(heapMeta)
-	if !ok {
-		panic("glibcmalloc: heap block without heap metadata")
-	}
+	meta := decodeHeapMeta(b)
+	a.blocks.Put(b)
 	cost := a.cfg.FreeCost
 	if meta.start+meta.size == a.usedEnd {
 		// Chunk borders the top: merge into the top chunk, then cascade
 		// any binned chunks that now border it (glibc's coalescing).
 		a.usedEnd = meta.start
 		for {
-			fc, ok := a.byEnd[a.usedEnd]
+			fc, ok := a.byEnd.Get(a.usedEnd)
 			if !ok {
 				break
 			}
@@ -384,15 +406,19 @@ func (a *Allocator) freeHeap(at simtime.Time, b *Block) simtime.Duration {
 }
 
 func (a *Allocator) insertFree(fc freeChunk) {
-	if _, exists := a.bins[fc.size]; !exists {
+	list, _ := a.bins.Get(fc.size)
+	if len(list) == 0 {
+		// The size is absent from the sorted index (emptied bins keep an
+		// empty slice in the table but leave the index).
 		idx := sort.Search(len(a.sizes), func(i int) bool { return a.sizes[i] >= fc.size })
 		a.sizes = append(a.sizes, 0)
 		copy(a.sizes[idx+1:], a.sizes[idx:])
 		a.sizes[idx] = fc.size
 	}
-	a.bins[fc.size] = append(a.bins[fc.size], fc)
-	a.binPos[fc.start] = len(a.bins[fc.size]) - 1
-	a.byEnd[fc.start+fc.size] = fc
+	list = append(list, fc)
+	a.bins.Put(fc.size, list)
+	a.binPos.Put(fc.start, int32(len(list)-1))
+	a.byEnd.Put(fc.start+fc.size, fc)
 	a.binnedBytes += fc.size
 }
 
@@ -400,23 +426,23 @@ func (a *Allocator) insertFree(fc freeChunk) {
 // binPos index locates it inside its bin list, and the vacated slot is
 // back-filled by the list's last chunk.
 func (a *Allocator) removeFree(fc freeChunk) {
-	list := a.bins[fc.size]
-	i, ok := a.binPos[fc.start]
+	list, _ := a.bins.Get(fc.size)
+	pos, ok := a.binPos.Get(fc.start)
+	i := int(pos)
 	if !ok || i >= len(list) || list[i] != fc {
 		panic(fmt.Sprintf("glibcmalloc: free-chunk index out of sync for chunk at %d", fc.start))
 	}
 	last := len(list) - 1
 	if i != last {
 		list[i] = list[last]
-		a.binPos[list[i].start] = i
+		a.binPos.Put(list[i].start, int32(i))
 	}
-	a.bins[fc.size] = list[:last]
-	delete(a.binPos, fc.start)
+	a.bins.Put(fc.size, list[:last])
+	a.binPos.Delete(fc.start)
 	if last == 0 {
-		delete(a.bins, fc.size)
 		a.dropSize(fc.size)
 	}
-	delete(a.byEnd, fc.start+fc.size)
+	a.byEnd.Delete(fc.start + fc.size)
 	a.binnedBytes -= fc.size
 }
 

@@ -91,13 +91,13 @@ func TestExactFitBinReuse(t *testing.T) {
 	filler, _ := a.Malloc(s.Now(), 512) // prevents b1 from merging into top
 	a.Touch(s.Now(), b1)
 	a.Touch(s.Now(), filler)
-	meta1 := b1.Meta.(heapMeta)
+	meta1 := decodeHeapMeta(b1)
 	a.Free(s.Now(), b1)
 	if a.BinnedBytes() == 0 {
 		t.Fatal("freed chunk must land in bins")
 	}
 	b2, _ := a.Malloc(s.Now(), 4096)
-	meta2 := b2.Meta.(heapMeta)
+	meta2 := decodeHeapMeta(b2)
 	if meta2.start != meta1.start {
 		t.Fatalf("exact-fit must reuse the freed chunk: got start %d, want %d", meta2.start, meta1.start)
 	}
@@ -114,12 +114,12 @@ func TestBestFitSplitsRemainder(t *testing.T) {
 	b1, _ := a.Malloc(s.Now(), 8192)
 	filler, _ := a.Malloc(s.Now(), 512)
 	_ = filler
+	m1 := decodeHeapMeta(b1) // capture before Free: the pool recycles b1's object
 	a.Free(s.Now(), b1)
 	binned0 := a.BinnedBytes()
 
 	b2, _ := a.Malloc(s.Now(), 1024)
-	meta := b2.Meta.(heapMeta)
-	m1 := b1.Meta.(heapMeta)
+	meta := decodeHeapMeta(b2)
 	if meta.start != m1.start {
 		t.Fatalf("best-fit must take the freed 8KB chunk head: start=%d want %d", meta.start, m1.start)
 	}
@@ -145,7 +145,7 @@ func TestFreeMergesIntoTopAndCascades(t *testing.T) {
 	}
 	// Free the top-adjacent chunk: merges, then cascades through b2's bin.
 	a.Free(s.Now(), b3)
-	m1 := b1.Meta.(heapMeta)
+	m1 := decodeHeapMeta(b1)
 	if a.UsedEnd() != m1.start+m1.size {
 		t.Fatalf("cascade merge failed: usedEnd=%d, want %d", a.UsedEnd(), m1.start+m1.size)
 	}
@@ -345,8 +345,8 @@ func TestBinPosIndexStaysConsistent(t *testing.T) {
 	if got := a.BinnedBytes(); got != 0 {
 		t.Fatalf("cascade left %d binned bytes, want 0", got)
 	}
-	if len(a.binPos) != 0 || len(a.byEnd) != 0 {
-		t.Fatalf("stale indexes after cascade: binPos=%d byEnd=%d", len(a.binPos), len(a.byEnd))
+	if a.binPos.Len() != 0 || a.byEnd.Len() != 0 {
+		t.Fatalf("stale indexes after cascade: binPos=%d byEnd=%d", a.binPos.Len(), a.byEnd.Len())
 	}
 }
 

@@ -62,10 +62,7 @@ func assertDisjoint(t *testing.T, a *Allocator, live map[*alloc.Block]struct{}) 
 	t.Helper()
 	ranges := make([]byteRange, 0, len(live))
 	for b := range live {
-		meta, ok := b.Meta.(heapMeta)
-		if !ok {
-			t.Fatal("heap block without heap metadata")
-		}
+		meta := decodeHeapMeta(b)
 		if meta.start < 0 || meta.start+meta.size > a.BreakBytes() {
 			t.Fatalf("block [%d,%d) outside heap [0,%d)", meta.start, meta.start+meta.size, a.BreakBytes())
 		}

@@ -91,14 +91,29 @@ type Allocator struct {
 
 	mmapBytes int64
 	stats     alloc.Stats
+
+	// blocks recycles Block objects across malloc/free cycles.
+	blocks alloc.BlockPool
 }
 
 var _ alloc.Allocator = (*Allocator)(nil)
 
-// jemallocMeta tags blocks with their class for free-path routing.
+// jemallocMeta tags blocks with their class for free-path routing; it is
+// carried inline in the Block's two meta words.
 type jemallocMeta struct {
 	classIdx   int   // small class index, -1 for large
 	extentPage int64 // large: extent size in pages
+}
+
+func (m jemallocMeta) encode() alloc.BlockMeta {
+	return alloc.BlockMeta{Tag: alloc.MetaJemalloc, A: int64(m.classIdx), B: m.extentPage}
+}
+
+func decodeMeta(b *alloc.Block) jemallocMeta {
+	if b.Meta.Tag != alloc.MetaJemalloc {
+		panic("jemalloc: foreign block")
+	}
+	return jemallocMeta{classIdx: int(b.Meta.A), extentPage: b.Meta.B}
 }
 
 // New creates a jemalloc-model allocator for a fresh process.
@@ -184,14 +199,16 @@ func (a *Allocator) mallocSmall(at simtime.Time, size int64) (*alloc.Block, simt
 	if list := a.freeObjs[idx]; len(list) != 0 {
 		region := list[len(list)-1]
 		a.freeObjs[idx] = list[:len(list)-1]
-		return &alloc.Block{
+		b := a.blocks.Get()
+		*b = alloc.Block{
 			Size:      size,
 			ChunkSize: classSize,
 			Kind:      alloc.BlockMmap,
 			Region:    region,
 			EndPage:   0, // fully below the region's touched watermark
-			Meta:      jemallocMeta{classIdx: idx},
-		}, cost
+			Meta:      jemallocMeta{classIdx: idx}.encode(),
+		}
+		return b, cost
 	}
 
 	// Carve from the class's current slab, mapping a new one when needed.
@@ -212,14 +229,16 @@ func (a *Allocator) mallocSmall(at simtime.Time, size int64) (*alloc.Block, simt
 	start := sl.carved
 	sl.carved += classSize
 	ps := a.k.PageSize()
-	return &alloc.Block{
+	b := a.blocks.Get()
+	*b = alloc.Block{
 		Size:      size,
 		ChunkSize: classSize,
 		Kind:      alloc.BlockMmap,
 		Region:    sl.region,
 		EndPage:   (start + classSize + ps - 1) / ps,
-		Meta:      jemallocMeta{classIdx: idx},
-	}, cost
+		Meta:      jemallocMeta{classIdx: idx}.encode(),
+	}
+	return b, cost
 }
 
 func (a *Allocator) mallocLarge(at simtime.Time, size int64) (*alloc.Block, simtime.Duration) {
@@ -233,27 +252,31 @@ func (a *Allocator) mallocLarge(at simtime.Time, size int64) (*alloc.Block, simt
 		if !e.purged {
 			endPage = 0 // mapped extent: no faults at touch
 		}
-		return &alloc.Block{
+		b := a.blocks.Get()
+		*b = alloc.Block{
 			Size:      size,
 			ChunkSize: pages * a.k.PageSize(),
 			Kind:      alloc.BlockMmap,
 			Region:    e.region,
 			EndPage:   endPage,
-			Meta:      jemallocMeta{classIdx: -1, extentPage: pages},
-		}, cost
+			Meta:      jemallocMeta{classIdx: -1, extentPage: pages}.encode(),
+		}
+		return b, cost
 	}
 
 	region, c := a.k.Mmap(at.Add(cost), a.proc, pages)
 	cost += c
 	a.mmapBytes += pages * a.k.PageSize()
-	return &alloc.Block{
+	b := a.blocks.Get()
+	*b = alloc.Block{
 		Size:      size,
 		ChunkSize: pages * a.k.PageSize(),
 		Kind:      alloc.BlockMmap,
 		Region:    region,
 		EndPage:   pages,
-		Meta:      jemallocMeta{classIdx: -1, extentPage: pages},
-	}, cost
+		Meta:      jemallocMeta{classIdx: -1, extentPage: pages}.encode(),
+	}
+	return b, cost
 }
 
 // Free implements alloc.Allocator: small objects recycle through the class
@@ -262,18 +285,17 @@ func (a *Allocator) Free(at simtime.Time, b *alloc.Block) simtime.Duration {
 	b.MarkFreed()
 	a.stats.Frees++
 	a.stats.BytesFreed += b.Size
-	meta, ok := b.Meta.(jemallocMeta)
-	if !ok {
-		panic("jemalloc: foreign block")
-	}
+	meta := decodeMeta(b)
 	if meta.classIdx >= 0 {
 		a.freeObjs[meta.classIdx] = append(a.freeObjs[meta.classIdx], b.Region)
+		a.blocks.Put(b)
 		return a.cfg.FreeCost
 	}
 	a.extents[meta.extentPage] = append(a.extents[meta.extentPage], extent{
 		region: b.Region,
 		since:  a.k.Scheduler().Now(),
 	})
+	a.blocks.Put(b)
 	return a.cfg.FreeCost
 }
 

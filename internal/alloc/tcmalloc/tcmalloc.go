@@ -66,10 +66,22 @@ type arena struct {
 	size   int64
 }
 
-// tcmallocMeta routes frees back to the right cache.
+// tcmallocMeta routes frees back to the right cache; it is carried inline
+// in the Block's two meta words.
 type tcmallocMeta struct {
 	classSize int64 // 0 for page-heap (large) spans
 	spanPages int64 // large spans: page count class
+}
+
+func (m tcmallocMeta) encode() alloc.BlockMeta {
+	return alloc.BlockMeta{Tag: alloc.MetaTCMalloc, A: m.classSize, B: m.spanPages}
+}
+
+func decodeMeta(b *alloc.Block) tcmallocMeta {
+	if b.Meta.Tag != alloc.MetaTCMalloc {
+		panic("tcmalloc: foreign block")
+	}
+	return tcmallocMeta{classSize: b.Meta.A, spanPages: b.Meta.B}
 }
 
 // Allocator is the TCMalloc model for one process.
@@ -90,6 +102,9 @@ type Allocator struct {
 
 	mmapBytes int64
 	stats     alloc.Stats
+
+	// blocks recycles Block objects across malloc/free cycles.
+	blocks alloc.BlockPool
 
 	// Fetches/SpanAllocs are exposed for the latency-signature tests.
 	Fetches    int64
@@ -196,13 +211,14 @@ func (a *Allocator) mallocSmall(at simtime.Time, size int64) (*alloc.Block, simt
 	// matching TCMalloc handing out span-backed objects that the app
 	// faults progressively (charged here as one spike for modelling
 	// economy — it is the rare path).
-	blk := &alloc.Block{
+	blk := a.blocks.Get()
+	*blk = alloc.Block{
 		Size:      size,
 		ChunkSize: class,
 		Kind:      alloc.BlockMmap,
 		Region:    region,
 		EndPage:   (start + spanBytes + ps - 1) / ps,
-		Meta:      tcmallocMeta{classSize: class},
+		Meta:      tcmallocMeta{classSize: class}.encode(),
 	}
 	for i := int64(1); i < batch; i++ {
 		a.threadCache[class] = append(a.threadCache[class], region)
@@ -211,14 +227,16 @@ func (a *Allocator) mallocSmall(at simtime.Time, size int64) (*alloc.Block, simt
 }
 
 func (a *Allocator) recycledBlock(size, class int64, region *kernel.Region) *alloc.Block {
-	return &alloc.Block{
+	b := a.blocks.Get()
+	*b = alloc.Block{
 		Size:      size,
 		ChunkSize: class,
 		Kind:      alloc.BlockMmap,
 		Region:    region,
 		EndPage:   0, // below the touched watermark: no faults
-		Meta:      tcmallocMeta{classSize: class},
+		Meta:      tcmallocMeta{classSize: class}.encode(),
 	}
+	return b
 }
 
 // carve takes bytes from the current arena, growing the page heap by
@@ -250,26 +268,30 @@ func (a *Allocator) mallocLarge(at simtime.Time, size int64) (*alloc.Block, simt
 	if cache := a.spanCache[pages]; len(cache) != 0 {
 		region := cache[len(cache)-1]
 		a.spanCache[pages] = cache[:len(cache)-1]
-		return &alloc.Block{
+		b := a.blocks.Get()
+		*b = alloc.Block{
 			Size:      size,
 			ChunkSize: pages * ps,
 			Kind:      alloc.BlockMmap,
 			Region:    region,
 			EndPage:   0,
-			Meta:      tcmallocMeta{spanPages: pages},
-		}, cost
+			Meta:      tcmallocMeta{spanPages: pages}.encode(),
+		}
+		return b, cost
 	}
 	a.SpanAllocs++
 	region, start, c := a.carve(at.Add(cost), pages*ps)
 	cost += c
-	return &alloc.Block{
+	b := a.blocks.Get()
+	*b = alloc.Block{
 		Size:      size,
 		ChunkSize: pages * ps,
 		Kind:      alloc.BlockMmap,
 		Region:    region,
 		EndPage:   (start + pages*ps + ps - 1) / ps,
-		Meta:      tcmallocMeta{spanPages: pages},
-	}, cost
+		Meta:      tcmallocMeta{spanPages: pages}.encode(),
+	}
+	return b, cost
 }
 
 // Free implements alloc.Allocator: objects recycle through the caches;
@@ -278,14 +300,13 @@ func (a *Allocator) Free(at simtime.Time, b *alloc.Block) simtime.Duration {
 	b.MarkFreed()
 	a.stats.Frees++
 	a.stats.BytesFreed += b.Size
-	meta, ok := b.Meta.(tcmallocMeta)
-	if !ok {
-		panic("tcmalloc: foreign block")
-	}
+	meta := decodeMeta(b)
+	region := b.Region
+	a.blocks.Put(b)
 	cost := a.cfg.FreeCost
 	if meta.classSize > 0 {
 		class := meta.classSize
-		a.threadCache[class] = append(a.threadCache[class], b.Region)
+		a.threadCache[class] = append(a.threadCache[class], region)
 		// Over-capacity thread caches spill a batch back to the central
 		// list (cheap, amortised).
 		batch := a.cfg.BatchBytes / class
@@ -301,7 +322,7 @@ func (a *Allocator) Free(at simtime.Time, b *alloc.Block) simtime.Duration {
 		}
 		return cost
 	}
-	a.spanCache[meta.spanPages] = append(a.spanCache[meta.spanPages], b.Region)
+	a.spanCache[meta.spanPages] = append(a.spanCache[meta.spanPages], region)
 	return cost
 }
 

@@ -1,0 +1,116 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/hermes-sim/hermes/internal/batch"
+	"github.com/hermes-sim/hermes/internal/flatmap"
+	"github.com/hermes-sim/hermes/internal/simtime"
+	"github.com/hermes-sim/hermes/internal/workload"
+)
+
+// churnScenario builds a cluster run whose deterministic path exercises the
+// two spots fixed for ISSUE 3: RocksDB memtable flushes / SST teardown
+// (compaction-order state) and process exit (batch jobs completing and
+// churning), both under enough allocation traffic to touch the LRU lists.
+func churnScenario() (Config, workload.LoadConfig) {
+	cfg := DefaultConfig()
+	cfg.Nodes = 2
+	cfg.Shards = 4
+	cfg.ServiceKind = ServiceRocksdb
+	cfg.Kernel.TotalMemory = 1 << 30
+	cfg.Kernel.SwapBytes = 1 << 30
+	b := batch.DefaultConfig()
+	b.TargetBytes = 800 << 20
+	b.InputBytes = 64 << 20
+	// Short jobs so several complete — and their containers exit — inside
+	// the run horizon.
+	b.WorkDuration = 100 * simtime.Millisecond
+	b.RampTicks = 5
+	b.TickPeriod = 20 * simtime.Millisecond
+	cfg.Batch = &b
+
+	load := workload.DefaultLoadConfig()
+	load.Requests = 30_000
+	load.RatePerSec = 100_000
+	load.Keys = 2_000
+	// 64 KB values overflow the 64 MB memtables after ~1k writes per
+	// shard, forcing several flushes per shard.
+	load.ValueBytes = 64 << 10
+	return cfg, load
+}
+
+func runChurn(t *testing.T, cfg Config, load workload.LoadConfig) Report {
+	t.Helper()
+	c := New(cfg)
+	defer c.Close()
+	rep := c.Run(load)
+	for _, n := range c.Nodes() {
+		n.Kernel().CheckInvariants()
+	}
+	return rep
+}
+
+// TestSeedReplayExitAndCompaction replays the churn scenario: two
+// independent runs of the identical (config, load) pair must produce
+// bit-identical Reports — including per-node kernel stats, which expose any
+// map-iteration-order dependence in process exit, memtable flush or SST
+// teardown.
+func TestSeedReplayExitAndCompaction(t *testing.T) {
+	cfg, load := churnScenario()
+	first := runChurn(t, cfg, load)
+	again := runChurn(t, cfg, load)
+	if !reflect.DeepEqual(first, again) {
+		t.Fatalf("seed replay diverged:\nfirst: %+v\nagain: %+v", first, again)
+	}
+	// The scenario must actually exercise the churn paths.
+	var reclaims int64
+	for _, n := range first.PerNode {
+		reclaims += n.Kernel.PagesReclaimed
+	}
+	if reclaims == 0 {
+		t.Fatal("scenario never reclaimed: pressure too low to exercise ordering")
+	}
+}
+
+// TestSeedReplayParallelMatchesSequential re-checks engine equivalence on
+// the churn scenario specifically: partitioned per-node execution must not
+// change a single bit of the Report even with batch exits and memtable
+// flushes in flight.
+func TestSeedReplayParallelMatchesSequential(t *testing.T) {
+	cfg, load := churnScenario()
+	cfg.Sequential = true
+	seq := runChurn(t, cfg, load)
+	cfg.Sequential = false
+	par := runChurn(t, cfg, load)
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("parallel engine diverged from sequential:\nseq: %+v\npar: %+v", seq, par)
+	}
+}
+
+// TestClusterBackendEquivalence verifies the open-addressed service tables
+// against the Go-map fallback: the identical cluster run on either backend
+// must produce a bit-identical Report. This is the equivalence check behind
+// the HERMES_FLATMAP=map escape hatch.
+func TestClusterBackendEquivalence(t *testing.T) {
+	for _, svc := range []ServiceKind{ServiceRedis, ServiceRocksdb} {
+		for _, kind := range []AllocatorKind{AllocGlibc, AllocHermes} {
+			cfg, load := churnScenario()
+			cfg.ServiceKind = svc
+			cfg.Allocator = kind
+			flat := runChurn(t, cfg, load)
+
+			prev := flatmap.SetDefaultBackend(flatmap.BackendMap)
+			restore := func() { flatmap.SetDefaultBackend(prev) }
+			defer restore()
+			mapped := runChurn(t, cfg, load)
+			restore()
+
+			if !reflect.DeepEqual(flat, mapped) {
+				t.Fatalf("%s/%s: flat tables diverge from map fallback:\nflat: %+v\nmap:  %+v",
+					svc, kind, flat, mapped)
+			}
+		}
+	}
+}

@@ -34,8 +34,10 @@ type Hermes struct {
 	pool *segregatedPool
 	// handouts tracks mmapped chunks given to the process that are larger
 	// than the request; the next management round shrinks them to size
-	// (Algorithm 2's DelayRelease).
-	handouts map[*kernel.Region]int64 // region → pages actually needed
+	// (Algorithm 2's DelayRelease). shrinkScratch is the reusable sort
+	// buffer for that round's deterministic region order.
+	handouts      map[*kernel.Region]int64 // region → pages actually needed
+	shrinkScratch []*kernel.Region
 
 	// Interval metrics (reset each tick) drive the thresholds.
 	smallBytes, smallCount int64
@@ -54,6 +56,10 @@ type Hermes struct {
 	// Own malloc/free counters: the pool and MallocSmall paths bypass the
 	// glibc model's accounting.
 	mallocs, frees, bytesReq, bytesFreed int64
+
+	// blocks recycles the mmap-path Block objects (heap blocks recycle
+	// through the underlying glibc model's pool).
+	blocks alloc.BlockPool
 }
 
 // MgmtStats counts management-thread activity for the overhead experiment.
@@ -206,6 +212,7 @@ func (h *Hermes) Free(at simtime.Time, b *alloc.Block) simtime.Duration {
 	b.MarkFreed()
 	delete(h.handouts, b.Region)
 	h.pool.add(poolChunk{region: b.Region, locked: false})
+	h.blocks.Put(b)
 	return h.g.Config().FreeCost
 }
 

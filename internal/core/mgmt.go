@@ -1,6 +1,9 @@
 package core
 
 import (
+	"cmp"
+	"slices"
+
 	"github.com/hermes-sim/hermes/internal/alloc"
 	"github.com/hermes-sim/hermes/internal/kernel"
 	"github.com/hermes-sim/hermes/internal/simtime"
@@ -203,13 +206,26 @@ func (h *Hermes) heapReserveStep(at simtime.Time) {
 func (h *Hermes) mmapRoutine(at simtime.Time) simtime.Duration {
 	var busy simtime.Duration
 
-	// DelayRelease: shrink chunks handed out larger than their request.
-	for region, need := range h.handouts {
-		if excess := region.Pages() - need; excess > 0 {
-			busy += h.k.Munmap(at.Add(busy), region, excess)
-			h.mgmtStats.Shrinks++
+	// DelayRelease: shrink chunks handed out larger than their request —
+	// in ascending RegionID order, so the Munmap timestamps never depend
+	// on Go map iteration (the seed-replay invariant).
+	if len(h.handouts) > 0 {
+		regions := h.shrinkScratch[:0]
+		for region := range h.handouts {
+			regions = append(regions, region)
 		}
-		delete(h.handouts, region)
+		slices.SortFunc(regions, func(a, b *kernel.Region) int {
+			return cmp.Compare(a.ID, b.ID)
+		})
+		for i, region := range regions {
+			if excess := region.Pages() - h.handouts[region]; excess > 0 {
+				busy += h.k.Munmap(at.Add(busy), region, excess)
+				h.mgmtStats.Shrinks++
+			}
+			delete(h.handouts, region)
+			regions[i] = nil // drop the region reference from the scratch
+		}
+		h.shrinkScratch = regions[:0]
 	}
 
 	// Reserve until the pool reaches the target — but bound the work per
@@ -284,17 +300,20 @@ func (h *Hermes) mallocLarge(at simtime.Time, size int64) (*alloc.Block, simtime
 	h.mgmtStats.PoolMisses++
 	region, c := h.k.Mmap(at.Add(cost), h.g.Process(), reqPages)
 	cost += c + h.g.Config().MallocFastCost
-	return &alloc.Block{
+	b := h.blocks.Get()
+	*b = alloc.Block{
 		Size:      size,
 		ChunkSize: reqPages * ps,
 		Kind:      alloc.BlockMmap,
 		Region:    region,
 		EndPage:   reqPages,
-	}, cost
+	}
+	return b, cost
 }
 
 func (h *Hermes) poolBlock(size, reqPages int64, region *kernel.Region) *alloc.Block {
-	return &alloc.Block{
+	b := h.blocks.Get()
+	*b = alloc.Block{
 		Size:      size,
 		ChunkSize: reqPages * h.k.PageSize(),
 		Kind:      alloc.BlockMmap,
@@ -304,4 +323,5 @@ func (h *Hermes) poolBlock(size, reqPages int64, region *kernel.Region) *alloc.B
 		EndPage:   reqPages,
 		PreMapped: region.Mapped() >= reqPages,
 	}
+	return b
 }

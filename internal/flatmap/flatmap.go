@@ -1,0 +1,330 @@
+// Package flatmap provides the flat, allocation-free containers backing the
+// simulator's per-request hot path: an open-addressed hash table keyed by
+// int64 with inline values, and a slice-backed FIFO ring. Both exist to
+// replace Go maps and growing slices in the single-node request loop, where
+// per-event heap allocation and pointer-chasing dominate once the engine is
+// parallel (see docs/ARCHITECTURE.md, "Hot path & memory discipline").
+//
+// The table uses linear probing with backward-shift deletion, so there are
+// no tombstones and lookup cost stays bounded by the live load factor no
+// matter how much the key set churns. Iteration order over a Map is a pure
+// function of the operation history — two runs that perform the identical
+// operation sequence observe the identical order — which is what the
+// simulator's seed-replay determinism requires. Code on the deterministic
+// path that needs an order independent of table internals (e.g. freeing
+// memtable blocks at flush) uses SortedKeys.
+//
+// A Go-map fallback backend is kept behind a config switch
+// (SetDefaultBackend, or HERMES_FLATMAP=map in the environment) so the flat
+// implementation can be verified equivalent against the original map-based
+// services — see TestClusterBackendEquivalence and the property tests.
+package flatmap
+
+import (
+	"os"
+	"slices"
+)
+
+// Backend selects the Map implementation.
+type Backend int
+
+const (
+	// BackendFlat is the open-addressed table — the default.
+	BackendFlat Backend = iota
+	// BackendMap is the Go-map fallback used to verify equivalence and as
+	// an escape hatch (HERMES_FLATMAP=map).
+	BackendMap
+)
+
+var defaultBackend = func() Backend {
+	if os.Getenv("HERMES_FLATMAP") == "map" {
+		return BackendMap
+	}
+	return BackendFlat
+}()
+
+// DefaultBackend returns the process-wide default backend.
+func DefaultBackend() Backend { return defaultBackend }
+
+// SetDefaultBackend overrides the default backend for Maps created
+// afterwards and returns the previous default (tests restore it).
+func SetDefaultBackend(b Backend) Backend {
+	prev := defaultBackend
+	defaultBackend = b
+	return prev
+}
+
+const minCapacity = 8
+
+// Map is a hash table from int64 keys to inline values of type V.
+// The zero value is not ready for use; call New.
+type Map[V any] struct {
+	// Flat backend: parallel slot arrays, power-of-two sized. used marks
+	// occupied slots (keys may be any int64, so no key sentinel exists).
+	keys []int64
+	vals []V
+	used []bool
+	mask uint64
+	// growAt is the occupancy that triggers a doubling (7/8 load factor —
+	// linear probing with backward-shift stays fast well past 3/4).
+	growAt int
+
+	n int
+
+	// Fallback backend.
+	m map[int64]V
+}
+
+// New creates a Map with capacity for about hint entries, using the
+// process-wide default backend.
+func New[V any](hint int) *Map[V] { return NewBackend[V](hint, defaultBackend) }
+
+// NewBackend creates a Map on an explicit backend.
+func NewBackend[V any](hint int, b Backend) *Map[V] {
+	m := &Map[V]{}
+	if b == BackendMap {
+		m.m = make(map[int64]V, hint)
+		return m
+	}
+	capacity := minCapacity
+	for capacity*7/8 <= hint {
+		capacity *= 2
+	}
+	m.init(capacity)
+	return m
+}
+
+func (m *Map[V]) init(capacity int) {
+	m.keys = make([]int64, capacity)
+	m.vals = make([]V, capacity)
+	m.used = make([]bool, capacity)
+	m.mask = uint64(capacity - 1)
+	m.growAt = capacity * 7 / 8
+}
+
+// hash is the splitmix64 finalizer — strong enough that linear probing
+// stays near its ideal probe lengths on adversarial-ish key sets (sequential
+// keys, pointers, region IDs).
+func hash(k int64) uint64 {
+	x := uint64(k)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// A nil *Map mirrors a nil Go map: reads (Get, Contains, Len, Range,
+// AppendKeys, SortedKeys) see an empty table, Delete and Clear are no-ops,
+// and Put panics — so torn-down owners (service Close sets tables to nil)
+// keep the familiar loud-write / tolerant-read contract.
+
+// Len returns the number of entries.
+func (m *Map[V]) Len() int {
+	if m == nil {
+		return 0
+	}
+	if m.m != nil {
+		return len(m.m)
+	}
+	return m.n
+}
+
+// Get returns the value stored under k.
+func (m *Map[V]) Get(k int64) (V, bool) {
+	if m == nil {
+		var zero V
+		return zero, false
+	}
+	if m.m != nil {
+		v, ok := m.m[k]
+		return v, ok
+	}
+	i := hash(k) & m.mask
+	for m.used[i] {
+		if m.keys[i] == k {
+			return m.vals[i], true
+		}
+		i = (i + 1) & m.mask
+	}
+	var zero V
+	return zero, false
+}
+
+// Contains reports whether k is present.
+func (m *Map[V]) Contains(k int64) bool {
+	if m == nil {
+		return false
+	}
+	if m.m != nil {
+		_, ok := m.m[k]
+		return ok
+	}
+	i := hash(k) & m.mask
+	for m.used[i] {
+		if m.keys[i] == k {
+			return true
+		}
+		i = (i + 1) & m.mask
+	}
+	return false
+}
+
+// Put stores v under k, replacing any existing entry.
+func (m *Map[V]) Put(k int64, v V) {
+	if m.m != nil {
+		m.m[k] = v
+		return
+	}
+	i := hash(k) & m.mask
+	for m.used[i] {
+		if m.keys[i] == k {
+			m.vals[i] = v
+			return
+		}
+		i = (i + 1) & m.mask
+	}
+	// k is absent: grow first when at the load threshold (overwrites above
+	// never grow), then find the insertion slot in the fresh table.
+	if m.n >= m.growAt {
+		m.grow()
+		i = hash(k) & m.mask
+		for m.used[i] {
+			i = (i + 1) & m.mask
+		}
+	}
+	m.keys[i], m.vals[i], m.used[i] = k, v, true
+	m.n++
+}
+
+func (m *Map[V]) grow() {
+	oldKeys, oldVals, oldUsed := m.keys, m.vals, m.used
+	m.init(len(oldKeys) * 2)
+	for i, u := range oldUsed {
+		if !u {
+			continue
+		}
+		j := hash(oldKeys[i]) & m.mask
+		for m.used[j] {
+			j = (j + 1) & m.mask
+		}
+		m.keys[j], m.vals[j], m.used[j] = oldKeys[i], oldVals[i], true
+	}
+}
+
+// Delete removes k, returning the removed value. Deletion backward-shifts
+// the following probe run instead of leaving a tombstone, so the table's
+// probe lengths depend only on the live occupancy.
+func (m *Map[V]) Delete(k int64) (V, bool) {
+	var zero V
+	if m == nil {
+		return zero, false
+	}
+	if m.m != nil {
+		v, ok := m.m[k]
+		if ok {
+			delete(m.m, k)
+		}
+		return v, ok
+	}
+	i := hash(k) & m.mask
+	for {
+		if !m.used[i] {
+			return zero, false
+		}
+		if m.keys[i] == k {
+			break
+		}
+		i = (i + 1) & m.mask
+	}
+	v := m.vals[i]
+	// Backward shift: walk the probe run after i; any entry whose home slot
+	// lies cyclically outside (i, j] can legally move back into the hole.
+	j := i
+	for {
+		j = (j + 1) & m.mask
+		if !m.used[j] {
+			break
+		}
+		h := hash(m.keys[j]) & m.mask
+		// h inside the cyclic half-open interval (i, j] means j's probe
+		// path starts after the hole, so j must stay; otherwise it fills it.
+		if ((j - h) & m.mask) < ((j - i) & m.mask) {
+			continue
+		}
+		m.keys[i], m.vals[i] = m.keys[j], m.vals[j]
+		i = j
+	}
+	m.keys[i] = 0
+	m.vals[i] = zero // release pointers held by V
+	m.used[i] = false
+	m.n--
+	return v, true
+}
+
+// Range calls fn for every entry until fn returns false. The order is the
+// table's slot order — deterministic for a given operation history, but not
+// sorted; deterministic-path code that frees or mutates global state per
+// entry should use SortedKeys instead.
+func (m *Map[V]) Range(fn func(k int64, v V) bool) {
+	if m == nil {
+		return
+	}
+	if m.m != nil {
+		for k, v := range m.m {
+			if !fn(k, v) {
+				return
+			}
+		}
+		return
+	}
+	for i, u := range m.used {
+		if u && !fn(m.keys[i], m.vals[i]) {
+			return
+		}
+	}
+}
+
+// AppendKeys appends every key to buf and returns it (unsorted).
+func (m *Map[V]) AppendKeys(buf []int64) []int64 {
+	if m == nil {
+		return buf
+	}
+	if m.m != nil {
+		for k := range m.m {
+			buf = append(buf, k)
+		}
+		return buf
+	}
+	for i, u := range m.used {
+		if u {
+			buf = append(buf, m.keys[i])
+		}
+	}
+	return buf
+}
+
+// SortedKeys appends every key to buf in ascending order and returns it —
+// the iteration order for deterministic-path bulk operations (memtable
+// flush, service close), identical across backends.
+func (m *Map[V]) SortedKeys(buf []int64) []int64 {
+	buf = m.AppendKeys(buf)
+	slices.Sort(buf)
+	return buf
+}
+
+// Clear removes every entry, keeping the allocated capacity.
+func (m *Map[V]) Clear() {
+	if m == nil {
+		return
+	}
+	if m.m != nil {
+		clear(m.m)
+		return
+	}
+	clear(m.keys)
+	clear(m.vals)
+	clear(m.used)
+	m.n = 0
+}

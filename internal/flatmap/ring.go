@@ -1,0 +1,47 @@
+package flatmap
+
+// Ring is a slice-backed FIFO deque of int64 — the allocation-free
+// replacement for the append-and-reslice eviction-order queues whose
+// backing arrays leak capacity as the head advances. The zero value is
+// ready for use.
+type Ring struct {
+	buf  []int64
+	head int
+	n    int
+}
+
+// Len returns the number of queued values.
+func (r *Ring) Len() int { return r.n }
+
+// Push appends v at the back.
+func (r *Ring) Push(v int64) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.n)&(len(r.buf)-1)] = v
+	r.n++
+}
+
+// Pop removes and returns the front value.
+func (r *Ring) Pop() (int64, bool) {
+	if r.n == 0 {
+		return 0, false
+	}
+	v := r.buf[r.head]
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.n--
+	return v, true
+}
+
+func (r *Ring) grow() {
+	capacity := len(r.buf) * 2
+	if capacity == 0 {
+		capacity = minCapacity
+	}
+	buf := make([]int64, capacity)
+	for i := 0; i < r.n; i++ {
+		buf[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
+	}
+	r.buf = buf
+	r.head = 0
+}

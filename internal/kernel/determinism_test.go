@@ -1,0 +1,82 @@
+package kernel
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/hermes-sim/hermes/internal/simtime"
+)
+
+// TestExitProcessSeedReplay replays a scenario whose deterministic path
+// runs through ExitProcess with many VMAs — the spot that used to iterate
+// a Go map while releasing regions into the LRU lists and swap accounting.
+// Two runs of the same seed must produce bit-identical kernel stats, clock
+// and memory counters.
+func TestExitProcessSeedReplay(t *testing.T) {
+	type digest struct {
+		Stats     Stats
+		Now       simtime.Time
+		Free      int64
+		SwapFree  int64
+		FileCache int64
+	}
+	run := func() digest {
+		s := simtime.NewScheduler()
+		cfg := DefaultConfig()
+		cfg.TotalMemory = 96 << 20
+		cfg.SwapBytes = 96 << 20
+		k := New(s, cfg)
+
+		// Two processes with interleaved VMAs, so the LRU lists hold
+		// alternating spans from many regions of both owners.
+		procs := []*Process{k.CreateProcess("a"), k.CreateProcess("b")}
+		var regions [][]*Region
+		for _, p := range procs {
+			var rs []*Region
+			for i := 0; i < 8; i++ {
+				r, c := k.Mmap(s.Now(), p, 1024)
+				s.Advance(c)
+				rs = append(rs, r)
+			}
+			regions = append(regions, rs)
+		}
+		for round := 0; round < 4; round++ {
+			for pi := range procs {
+				for _, r := range regions[pi] {
+					s.Advance(k.FaultIn(s.Now(), r, 256))
+				}
+			}
+		}
+		// Push the node under its watermarks so reclaim (and swap) runs,
+		// then exit the first process mid-pressure and keep allocating.
+		filler := k.CreateProcess("filler")
+		fr, c := k.Mmap(s.Now(), filler, 2*k.TotalPages())
+		s.Advance(c)
+		min, _, _ := k.Watermarks()
+		s.Advance(k.FaultIn(s.Now(), fr, k.FreePages()-min-64))
+		s.Advance(k.FaultIn(s.Now(), fr, 512)) // dips below min: direct reclaim swaps
+		k.ExitProcess(procs[0])
+		s.Advance(k.FaultIn(s.Now(), fr, 1024))
+		k.ExitProcess(procs[1])
+		s.Advance(k.FaultIn(s.Now(), fr, 1024))
+		s.Advance(50 * simtime.Millisecond) // let kswapd settle
+		k.CheckInvariants()
+		return digest{
+			Stats:     k.Stats(),
+			Now:       s.Now(),
+			Free:      k.FreePages(),
+			SwapFree:  k.SwapFreePages(),
+			FileCache: k.FileCachePages(),
+		}
+	}
+
+	first := run()
+	for i := 0; i < 3; i++ {
+		if again := run(); !reflect.DeepEqual(first, again) {
+			t.Fatalf("seed replay diverged on run %d:\nfirst %+v\nagain %+v", i+2, first, again)
+		}
+	}
+	if first.Stats.PagesSwapOut == 0 {
+		t.Fatal("scenario never swapped: pressure too low to exercise reclaim ordering")
+	}
+}

@@ -1,9 +1,6 @@
 package kernel
 
-import (
-	"container/list"
-	"fmt"
-)
+import "fmt"
 
 // listKind identifies one of the four page LRU lists Linux keeps
 // (§2.3 of the paper): active/inactive × anonymous/file.
@@ -45,16 +42,71 @@ type span struct {
 	pages  int64
 }
 
+// nilNode terminates the intrusive prev/next chains.
+const nilNode = int32(-1)
+
+// spanNode is one list element: the span payload plus embedded prev/next
+// indices into the owning arena. Replacing container/list, which allocated
+// one heap Element per span, with arena indices makes list surgery
+// allocation-free and keeps the nodes of one kernel contiguous in memory.
+type spanNode struct {
+	span
+	prev, next int32 // prev is toward the MRU end, next toward the LRU end
+}
+
+// spanArena owns the nodes of all four LRU lists of one kernel and pools
+// the free ones, so spans moving between lists (aging, reclaim, re-fault)
+// recycle nodes instead of producing garbage.
+type spanArena struct {
+	nodes []spanNode
+	free  []int32
+}
+
+func (a *spanArena) alloc(sp span) int32 {
+	if n := len(a.free); n > 0 {
+		idx := a.free[n-1]
+		a.free = a.free[:n-1]
+		a.nodes[idx] = spanNode{span: sp, prev: nilNode, next: nilNode}
+		return idx
+	}
+	a.nodes = append(a.nodes, spanNode{span: sp, prev: nilNode, next: nilNode})
+	return int32(len(a.nodes) - 1)
+}
+
+// release returns a node to the free pool, dropping its owner references.
+func (a *spanArena) release(idx int32) {
+	a.nodes[idx] = spanNode{prev: nilNode, next: nilNode}
+	a.free = append(a.free, idx)
+}
+
 // lruList is a FIFO of spans: new pages enter at the front, reclaim scans
-// from the back — the classic clock-ish approximation.
+// from the back — the classic clock-ish approximation. The spans live in
+// the kernel's shared arena; the list holds head/tail indices.
 type lruList struct {
 	kind  listKind
-	spans list.List // of *span
+	arena *spanArena
+	head  int32 // MRU end
+	tail  int32 // LRU end
 	pages int64
 }
 
-func newLRUList(kind listKind) *lruList {
-	return &lruList{kind: kind}
+func newLRUList(kind listKind, arena *spanArena) *lruList {
+	return &lruList{kind: kind, arena: arena, head: nilNode, tail: nilNode}
+}
+
+// unlink detaches the node at idx from the chain (the caller releases it).
+func (l *lruList) unlink(idx int32) {
+	nd := &l.arena.nodes[idx]
+	if nd.prev != nilNode {
+		l.arena.nodes[nd.prev].next = nd.next
+	} else {
+		l.head = nd.next
+	}
+	if nd.next != nilNode {
+		l.arena.nodes[nd.next].prev = nd.prev
+	} else {
+		l.tail = nd.prev
+	}
 }
 
 // push adds a span of pages at the MRU end, merging with the current head
@@ -63,70 +115,83 @@ func (l *lruList) push(sp span) {
 	if sp.pages <= 0 {
 		return
 	}
-	if head := l.spans.Front(); head != nil {
-		h := head.Value.(*span)
+	if l.head != nilNode {
+		h := &l.arena.nodes[l.head]
 		if h.region == sp.region && h.file == sp.file {
 			h.pages += sp.pages
 			l.pages += sp.pages
 			return
 		}
 	}
-	cp := sp
-	l.spans.PushFront(&cp)
+	idx := l.arena.alloc(sp)
+	nd := &l.arena.nodes[idx]
+	nd.next = l.head
+	if l.head != nilNode {
+		l.arena.nodes[l.head].prev = idx
+	}
+	l.head = idx
+	if l.tail == nilNode {
+		l.tail = idx
+	}
 	l.pages += sp.pages
 }
 
-// takeTail removes up to max pages from the LRU end and returns the spans
-// removed (oldest first). Each returned span's pages are already deducted.
-func (l *lruList) takeTail(max int64) []span {
-	var out []span
+// takeTail removes up to max pages from the LRU end, invoking fn for each
+// span removed (oldest first, pages already deducted), and returns the
+// total pages taken. fn may push into other lists of the same arena: the
+// node is unlinked and released before fn runs.
+func (l *lruList) takeTail(max int64, fn func(span)) int64 {
+	var taken int64
 	for max > 0 {
-		el := l.spans.Back()
-		if el == nil {
+		idx := l.tail
+		if idx == nilNode {
 			break
 		}
-		sp := el.Value.(*span)
-		n := sp.pages
+		nd := &l.arena.nodes[idx]
+		n := nd.pages
 		if n > max {
 			n = max
 		}
-		out = append(out, span{region: sp.region, file: sp.file, pages: n})
-		sp.pages -= n
+		out := span{region: nd.region, file: nd.file, pages: n}
+		nd.pages -= n
 		l.pages -= n
 		max -= n
-		if sp.pages == 0 {
-			l.spans.Remove(el)
+		taken += n
+		if nd.pages == 0 {
+			l.unlink(idx)
+			l.arena.release(idx)
 		}
+		fn(out)
 	}
-	return out
+	return taken
 }
 
 // removeOwner strips up to max pages belonging to the given owner from the
-// list (both region and file may be nil-checked by the caller via the
-// matches closure style, but a direct comparison is enough here). It returns
-// the number of pages removed. Used when pages leave a list for reasons
-// other than reclaim: munmap, heap trim, mlock, fadvise, process exit.
+// list, scanning from the LRU end. It returns the number of pages removed.
+// Used when pages leave a list for reasons other than reclaim: munmap, heap
+// trim, mlock, fadvise, process exit.
 func (l *lruList) removeOwner(region *Region, file *File, max int64) int64 {
 	if max <= 0 {
 		return 0
 	}
 	var removed int64
-	for el := l.spans.Back(); el != nil && removed < max; {
-		prev := el.Prev()
-		sp := el.Value.(*span)
-		if sp.region == region && sp.file == file {
-			n := sp.pages
+	for idx := l.tail; idx != nilNode && removed < max; {
+		nd := &l.arena.nodes[idx]
+		prev := nd.prev
+		if nd.region == region && nd.file == file {
+			n := nd.pages
 			if n > max-removed {
 				n = max - removed
 			}
-			sp.pages -= n
+			nd.pages -= n
 			l.pages -= n
 			removed += n
-			if sp.pages == 0 {
-				l.spans.Remove(el)
+			if nd.pages == 0 {
+				l.unlink(idx)
+				l.arena.release(idx)
 			}
 		}
-		el = prev
+		idx = prev
 	}
 	return removed
 }
@@ -135,17 +200,18 @@ func (l *lruList) removeOwner(region *Region, file *File, max int64) int64 {
 // used only in tests and invariant checks.
 func (l *lruList) ownerPages(region *Region, file *File) int64 {
 	var n int64
-	for el := l.spans.Front(); el != nil; el = el.Next() {
-		sp := el.Value.(*span)
-		if sp.region == region && sp.file == file {
-			n += sp.pages
+	for idx := l.head; idx != nilNode; idx = l.arena.nodes[idx].next {
+		nd := &l.arena.nodes[idx]
+		if nd.region == region && nd.file == file {
+			n += nd.pages
 		}
 	}
 	return n
 }
 
-// lruSet bundles the four lists.
+// lruSet bundles the four lists over one shared span arena.
 type lruSet struct {
+	arena        *spanArena
 	activeAnon   *lruList
 	inactiveAnon *lruList
 	activeFile   *lruList
@@ -153,11 +219,13 @@ type lruSet struct {
 }
 
 func newLRUSet() lruSet {
+	arena := &spanArena{}
 	return lruSet{
-		activeAnon:   newLRUList(listActiveAnon),
-		inactiveAnon: newLRUList(listInactiveAnon),
-		activeFile:   newLRUList(listActiveFile),
-		inactiveFile: newLRUList(listInactiveFile),
+		arena:        arena,
+		activeAnon:   newLRUList(listActiveAnon, arena),
+		inactiveAnon: newLRUList(listInactiveAnon, arena),
+		activeFile:   newLRUList(listActiveFile, arena),
+		inactiveFile: newLRUList(listInactiveFile, arena),
 	}
 }
 

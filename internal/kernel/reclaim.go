@@ -57,14 +57,10 @@ func (k *Kernel) reclaim(at simtime.Time, target int64, direct bool) (int64, sim
 }
 
 // age moves up to n pages from the tail of src to the head of dst, charging
-// only scan cost (no I/O).
+// only scan cost (no I/O). Src and dst share the arena, so each aged span's
+// node is recycled straight into dst.
 func (k *Kernel) age(src, dst *lruList, n int64) simtime.Duration {
-	moved := src.takeTail(n)
-	var pages int64
-	for _, sp := range moved {
-		dst.push(sp)
-		pages += sp.pages
-	}
+	pages := src.takeTail(n, dst.push)
 	return simtime.Duration(pages) * k.cfg.Costs.ReclaimScanPerPage
 }
 
@@ -77,8 +73,7 @@ func (k *Kernel) reclaimFile(at simtime.Time, n int64, direct bool) (int64, simt
 	var freed int64
 	var cost simtime.Duration
 	costs := k.cfg.Costs
-	spans := k.lru.inactiveFile.takeTail(n)
-	for _, sp := range spans {
+	k.lru.inactiveFile.takeTail(n, func(sp span) {
 		f := sp.file
 		cost += simtime.Duration(sp.pages) * (costs.ReclaimScanPerPage + costs.FileDropPerPage)
 		// Dirty pages are spread across the file's cached pages; reclaim
@@ -97,7 +92,7 @@ func (k *Kernel) reclaimFile(at simtime.Time, n int64, direct bool) (int64, simt
 		k.freePagesBack(sp.pages)
 		freed += sp.pages
 		k.stats.FileDropped += sp.pages
-	}
+	})
 	return freed, cost
 }
 
@@ -120,11 +115,8 @@ func (k *Kernel) reclaimAnon(at simtime.Time, n int64, direct bool) (int64, simt
 	var freed int64
 	var cost simtime.Duration
 	costs := k.cfg.Costs
-	spans := k.lru.inactiveAnon.takeTail(n)
-	if len(spans) > 0 {
+	k.lru.inactiveAnon.takeTail(n, func(sp span) {
 		k.lastSwapOut = at
-	}
-	for _, sp := range spans {
 		r := sp.region
 		cost += simtime.Duration(sp.pages) * costs.ReclaimScanPerPage
 		cost += k.diskIO(at.Add(cost), sp.pages, true, direct)
@@ -134,7 +126,7 @@ func (k *Kernel) reclaimAnon(at simtime.Time, n int64, direct bool) (int64, simt
 		k.freePagesBack(sp.pages)
 		freed += sp.pages
 		k.stats.PagesSwapOut += sp.pages
-	}
+	})
 	return freed, cost
 }
 

@@ -2,6 +2,7 @@ package kernel
 
 import (
 	"fmt"
+	"slices"
 
 	"github.com/hermes-sim/hermes/internal/simtime"
 )
@@ -47,7 +48,17 @@ func (k *Kernel) ExitProcess(p *Process) {
 		return
 	}
 	k.releaseRegion(p.heap, p.heap.pages)
-	for _, r := range p.vmas {
+	// Release VMAs in ascending RegionID order: releaseRegion mutates the
+	// LRU lists, the free-page pool and the swap accounting, so the release
+	// order must not depend on Go map iteration for seed replay to be
+	// bit-identical.
+	ids := make([]RegionID, 0, len(p.vmas))
+	for id := range p.vmas {
+		ids = append(ids, id)
+	}
+	slices.Sort(ids)
+	for _, id := range ids {
+		r := p.vmas[id]
 		k.releaseRegion(r, r.pages)
 		r.dead = true
 	}

@@ -1,0 +1,59 @@
+package services
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/hermes-sim/hermes/internal/alloc"
+	"github.com/hermes-sim/hermes/internal/alloc/glibcmalloc"
+	"github.com/hermes-sim/hermes/internal/core"
+	"github.com/hermes-sim/hermes/internal/kernel"
+	"github.com/hermes-sim/hermes/internal/simtime"
+)
+
+// TestRequestPathSteadyStateAllocs locks the zero-allocation property of
+// the single-node request hot path: once the key space is warm, a full
+// Query (malloc + touch + index insert + overwrite free + read) must cost
+// at most 1 Go allocation per operation — in practice ~0, with the budget
+// of 1 absorbing rare amortized growth (bin capacity, scheduler pool).
+func TestRequestPathSteadyStateAllocs(t *testing.T) {
+	const keys = 4096
+	cases := []struct {
+		name string
+		make func(k *kernel.Kernel) alloc.Allocator
+	}{
+		{"glibc", func(k *kernel.Kernel) alloc.Allocator {
+			return glibcmalloc.New(k, "redis", glibcmalloc.DefaultConfig())
+		}},
+		{"hermes", func(k *kernel.Kernel) alloc.Allocator {
+			return core.New(k, "redis", core.DefaultConfig())
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := simtime.NewScheduler()
+			k := kernel.New(s, kernel.DefaultConfig())
+			a := tc.make(k)
+			defer a.Close()
+			r := NewRedis(k, a, RedisCosts())
+			defer r.Close()
+
+			// Warm up: populate every key (table at final size, block pool
+			// primed, heap grown) and let background machinery start.
+			for i := int64(0); i < keys; i++ {
+				r.Query(i, 1024)
+			}
+			s.Advance(10 * simtime.Millisecond)
+
+			var key int64
+			allocs := testing.AllocsPerRun(20000, func() {
+				key = (key + 1) % keys
+				r.Query(key, 1024)
+			})
+			if allocs > 1 {
+				t.Fatalf("steady-state Query costs %.2f allocs/op, want <= 1", allocs)
+			}
+			t.Log(fmt.Sprintf("steady-state Query: %.3f allocs/op", allocs))
+		})
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/hermes-sim/hermes/internal/alloc"
+	"github.com/hermes-sim/hermes/internal/flatmap"
 	"github.com/hermes-sim/hermes/internal/kernel"
 	"github.com/hermes-sim/hermes/internal/simtime"
 	"github.com/hermes-sim/hermes/internal/workload"
@@ -13,13 +14,15 @@ import (
 // allocator-backed memory for the record's whole lifetime, so the store's
 // resident set equals the dataset and old values are prime swap victims
 // under node pressure — the paper's reason Redis leaves less room for batch
-// jobs than RocksDB (Table 1 discussion).
+// jobs than RocksDB (Table 1 discussion). The key index is an open-addressed
+// flat table (flatmap), so steady-state requests probe inline arrays instead
+// of churning a Go map.
 type Redis struct {
 	k     *kernel.Kernel
 	a     alloc.Allocator
 	costs CostConfig
 
-	table  map[int64]*alloc.Block
+	table  *flatmap.Map[*alloc.Block]
 	stored int64
 
 	lastPreMapped bool
@@ -29,7 +32,7 @@ var _ Service = (*Redis)(nil)
 
 // NewRedis creates the store on the given allocator.
 func NewRedis(k *kernel.Kernel, a alloc.Allocator, costs CostConfig) *Redis {
-	return &Redis{k: k, a: a, costs: costs, table: make(map[int64]*alloc.Block)}
+	return &Redis{k: k, a: a, costs: costs, table: flatmap.New[*alloc.Block](0)}
 }
 
 // Name implements Service.
@@ -57,11 +60,12 @@ func (r *Redis) Insert(key, valueBytes int64) simtime.Duration {
 	cost += r.a.Touch(now.Add(cost), b)
 	cost += copyCost(r.costs, valueBytes)
 	r.lastPreMapped = b.PreMapped
-	if old, ok := r.table[key]; ok {
+	if old, ok := r.table.Get(key); ok {
+		size := old.Size // Free recycles the Block; read nothing after it
 		cost += r.a.Free(now.Add(cost), old)
-		r.stored -= old.Size
+		r.stored -= size
 	}
-	r.table[key] = b
+	r.table.Put(key, b)
 	r.stored += valueBytes
 	return cost
 }
@@ -71,7 +75,7 @@ func (r *Redis) Insert(key, valueBytes int64) simtime.Duration {
 func (r *Redis) Read(key int64) simtime.Duration {
 	now := r.k.Scheduler().Now()
 	cost := r.costs.IndexCost
-	b, ok := r.table[key]
+	b, ok := r.table.Get(key)
 	if !ok {
 		return cost
 	}
@@ -84,10 +88,10 @@ func (r *Redis) Read(key int64) simtime.Duration {
 func (r *Redis) Delete(key int64) simtime.Duration {
 	now := r.k.Scheduler().Now()
 	cost := r.costs.IndexCost
-	if b, ok := r.table[key]; ok {
+	if b, ok := r.table.Delete(key); ok {
+		size := b.Size // Free recycles the Block; read nothing after it
 		cost += r.a.Free(now.Add(cost), b)
-		r.stored -= b.Size
-		delete(r.table, key)
+		r.stored -= size
 	}
 	return cost
 }
@@ -108,5 +112,6 @@ func (r *Redis) Query(key, valueBytes int64) (total, ins, rd simtime.Duration) {
 }
 
 // Close implements Service. The allocator is owned by the caller; the
-// table is simply dropped.
+// table is simply dropped (a nil flatmap keeps the Go-map contract: reads
+// after Close are harmless misses, writes panic).
 func (r *Redis) Close() { r.table = nil }

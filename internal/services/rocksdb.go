@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/hermes-sim/hermes/internal/alloc"
+	"github.com/hermes-sim/hermes/internal/flatmap"
 	"github.com/hermes-sim/hermes/internal/kernel"
 	"github.com/hermes-sim/hermes/internal/simtime"
 	"github.com/hermes-sim/hermes/internal/workload"
@@ -41,26 +42,37 @@ type Rocksdb struct {
 	costs CostConfig
 	cfg   RocksdbConfig
 
-	memtable map[int64]*alloc.Block
+	memtable *flatmap.Map[*alloc.Block]
 	memBytes int64
 	wal      *kernel.File
 	walSeq   int
 
 	sstSeq int
-	// sstOf maps a key to the SST file holding its latest flushed value;
-	// valSize remembers record sizes.
-	sstOf   map[int64]*kernel.File
-	valSize map[int64]int64
+	// records maps a key to its latest record state: the SST file holding
+	// the flushed value (nil while the record only exists in the memtable)
+	// and the record size — the former sstOf/valSize pair collapsed into
+	// one flat-table probe.
+	records *flatmap.Map[sstRecord]
 
-	cache      map[int64]*alloc.Block
+	cache      *flatmap.Map[*alloc.Block]
 	cacheBytes int64
-	cacheOrder []int64 // FIFO eviction order (approximates LRU)
+	cacheOrder flatmap.Ring // FIFO eviction order (approximates LRU)
+
+	// keyScratch is the reusable buffer for sorted-key iteration at flush
+	// and close — the deterministic bulk paths.
+	keyScratch []int64
 
 	stored        int64
 	flushes       int64
 	lastPreMapped bool
 
 	name string
+}
+
+// sstRecord is the per-key index entry of the SST tier.
+type sstRecord struct {
+	sst  *kernel.File
+	size int64
 }
 
 var _ Service = (*Rocksdb)(nil)
@@ -76,10 +88,9 @@ func NewRocksdb(k *kernel.Kernel, a alloc.Allocator, costs CostConfig, cfg Rocks
 		a:        a,
 		costs:    costs,
 		cfg:      cfg,
-		memtable: make(map[int64]*alloc.Block),
-		sstOf:    make(map[int64]*kernel.File),
-		valSize:  make(map[int64]int64),
-		cache:    make(map[int64]*alloc.Block),
+		memtable: flatmap.New[*alloc.Block](0),
+		records:  flatmap.New[sstRecord](0),
+		cache:    flatmap.New[*alloc.Block](0),
 		name:     name,
 	}
 	r.wal = k.CreateFile(r.fileName("wal", r.walSeq), 0, r.ownerPID())
@@ -132,19 +143,23 @@ func (r *Rocksdb) Insert(key, valueBytes int64) simtime.Duration {
 	cost += r.a.Touch(now.Add(cost), b)
 	cost += copyCost(r.costs, valueBytes)
 	r.lastPreMapped = b.PreMapped
-	if old, ok := r.memtable[key]; ok {
+	if old, ok := r.memtable.Get(key); ok {
+		size := old.Size // Free recycles the Block; read nothing after it
 		cost += r.a.Free(now.Add(cost), old)
-		r.memBytes -= old.Size
-		r.stored -= old.Size
+		r.memBytes -= size
 	}
-	r.memtable[key] = b
+	r.memtable.Put(key, b)
 	r.memBytes += valueBytes
-	if _, ok := r.valSize[key]; !ok {
-		r.stored += valueBytes
-	} else if r.sstOf[key] != nil {
-		// overwrite of a flushed record: live size unchanged
+	// stored is the live dataset: the latest size of every live key. An
+	// overwrite replaces the key's previous size (whether that version sat
+	// in the memtable or an SST) with the new one.
+	rec, known := r.records.Get(key)
+	if known {
+		r.stored -= rec.size
 	}
-	r.valSize[key] = valueBytes
+	r.stored += valueBytes
+	rec.size = valueBytes
+	r.records.Put(key, rec)
 
 	if r.memBytes >= r.cfg.MemtableBytes {
 		cost += r.flush(now.Add(cost))
@@ -153,7 +168,9 @@ func (r *Rocksdb) Insert(key, valueBytes int64) simtime.Duration {
 }
 
 // flush writes the memtable out as one SST file, truncates the WAL and
-// releases the memtable blocks.
+// releases the memtable blocks. Blocks are released in ascending key order:
+// the free sequence mutates allocator and kernel state, so it must not
+// depend on table internals for seed replay to be bit-identical.
 func (r *Rocksdb) flush(at simtime.Time) simtime.Duration {
 	r.flushes++
 	r.sstSeq++
@@ -161,11 +178,15 @@ func (r *Rocksdb) flush(at simtime.Time) simtime.Duration {
 	pages := alloc.PagesFor(r.k, r.memBytes)
 	cost := r.k.WriteFile(at, sst, pages, true)
 	cost += r.k.Fsync(at.Add(cost), sst)
-	for key, b := range r.memtable {
+	r.keyScratch = r.memtable.SortedKeys(r.keyScratch[:0])
+	for _, key := range r.keyScratch {
+		b, _ := r.memtable.Get(key)
 		cost += r.a.Free(at.Add(cost), b)
-		r.sstOf[key] = sst
-		delete(r.memtable, key)
+		rec, _ := r.records.Get(key)
+		rec.sst = sst
+		r.records.Put(key, rec)
 	}
+	r.memtable.Clear()
 	r.memBytes = 0
 	// WAL truncation: drop and recreate.
 	r.k.DeleteFile(r.wal)
@@ -179,38 +200,37 @@ func (r *Rocksdb) flush(at simtime.Time) simtime.Duration {
 func (r *Rocksdb) Read(key int64) simtime.Duration {
 	now := r.k.Scheduler().Now()
 	cost := r.costs.IndexCost
-	if b, ok := r.memtable[key]; ok {
+	if b, ok := r.memtable.Get(key); ok {
 		cost += readCost(r.costs, b.Size)
 		cost += r.k.Access(now.Add(cost), b.Region, alloc.PagesFor(r.k, b.Size))
 		return cost
 	}
-	if b, ok := r.cache[key]; ok {
+	if b, ok := r.cache.Get(key); ok {
 		cost += readCost(r.costs, b.Size)
 		cost += r.k.Access(now.Add(cost), b.Region, alloc.PagesFor(r.k, b.Size))
 		return cost
 	}
-	sst, ok := r.sstOf[key]
-	if !ok {
+	rec, ok := r.records.Get(key)
+	if !ok || rec.sst == nil {
 		return cost
 	}
-	size := r.valSize[key]
+	size := rec.size
 	cost += r.costs.IndexCost // SST index block probe
-	cost += r.k.ReadFile(now.Add(cost), sst, alloc.PagesFor(r.k, size))
+	cost += r.k.ReadFile(now.Add(cost), rec.sst, alloc.PagesFor(r.k, size))
 	// Populate the block cache through the allocator.
 	b, c := r.a.Malloc(now.Add(cost), size)
 	cost += c
 	cost += r.a.Touch(now.Add(cost), b)
-	r.cache[key] = b
+	r.cache.Put(key, b)
 	r.cacheBytes += size
-	r.cacheOrder = append(r.cacheOrder, key)
+	r.cacheOrder.Push(key)
 	cost += readCost(r.costs, size)
-	for r.cacheBytes > r.cfg.BlockCacheBytes && len(r.cacheOrder) > 0 {
-		victim := r.cacheOrder[0]
-		r.cacheOrder = r.cacheOrder[1:]
-		if vb, ok := r.cache[victim]; ok {
+	for r.cacheBytes > r.cfg.BlockCacheBytes && r.cacheOrder.Len() > 0 {
+		victim, _ := r.cacheOrder.Pop()
+		if vb, ok := r.cache.Delete(victim); ok {
+			size := vb.Size // Free recycles the Block; read nothing after it
 			cost += r.a.Free(now.Add(cost), vb)
-			r.cacheBytes -= vb.Size
-			delete(r.cache, victim)
+			r.cacheBytes -= size
 		}
 	}
 	return cost
@@ -221,20 +241,18 @@ func (r *Rocksdb) Read(key int64) simtime.Duration {
 func (r *Rocksdb) Delete(key int64) simtime.Duration {
 	now := r.k.Scheduler().Now()
 	cost := r.costs.IndexCost
-	if b, ok := r.memtable[key]; ok {
+	if b, ok := r.memtable.Delete(key); ok {
+		size := b.Size // Free recycles the Block; read nothing after it
 		cost += r.a.Free(now.Add(cost), b)
-		r.memBytes -= b.Size
-		delete(r.memtable, key)
+		r.memBytes -= size
 	}
-	if b, ok := r.cache[key]; ok {
+	if b, ok := r.cache.Delete(key); ok {
+		size := b.Size
 		cost += r.a.Free(now.Add(cost), b)
-		r.cacheBytes -= b.Size
-		delete(r.cache, key)
+		r.cacheBytes -= size
 	}
-	if _, ok := r.valSize[key]; ok {
-		r.stored -= r.valSize[key]
-		delete(r.valSize, key)
-		delete(r.sstOf, key)
+	if rec, ok := r.records.Delete(key); ok {
+		r.stored -= rec.size
 	}
 	return cost
 }
@@ -255,18 +273,25 @@ func (r *Rocksdb) Query(key, valueBytes int64) (total, ins, rd simtime.Duration)
 
 // Close implements Service: SST and WAL files are deleted (their cache
 // returns to the kernel); allocator-backed blocks are dropped with the
-// instance.
+// instance. Files are visited in ascending key order — DeleteFile mutates
+// the kernel's LRU lists, so the visit order must not depend on table
+// internals (the former map iteration was the one nondeterministic step on
+// this path). DeleteFile marks the file deleted, which also dedupes SSTs
+// shared by many keys.
 func (r *Rocksdb) Close() {
 	if r.wal != nil && !r.wal.Deleted() {
 		r.k.DeleteFile(r.wal)
 	}
-	seen := make(map[*kernel.File]bool)
-	for _, f := range r.sstOf {
-		if f != nil && !seen[f] && !f.Deleted() {
-			r.k.DeleteFile(f)
-			seen[f] = true
+	r.keyScratch = r.records.SortedKeys(r.keyScratch[:0])
+	for _, key := range r.keyScratch {
+		rec, _ := r.records.Get(key)
+		if rec.sst != nil && !rec.sst.Deleted() {
+			r.k.DeleteFile(rec.sst)
 		}
 	}
+	// Drop the tiers (nil flatmaps keep the Go-map contract: reads after
+	// Close are harmless misses, writes panic).
 	r.memtable = nil
 	r.cache = nil
+	r.records = nil
 }

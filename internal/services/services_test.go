@@ -6,6 +6,7 @@ import (
 	"github.com/hermes-sim/hermes/internal/alloc"
 	"github.com/hermes-sim/hermes/internal/alloc/glibcmalloc"
 	"github.com/hermes-sim/hermes/internal/core"
+	"github.com/hermes-sim/hermes/internal/flatmap"
 	"github.com/hermes-sim/hermes/internal/kernel"
 	"github.com/hermes-sim/hermes/internal/simtime"
 )
@@ -114,7 +115,7 @@ func TestRocksdbInsertWritesWALAndMemtable(t *testing.T) {
 	if r.wal.CachedPages() == 0 || r.wal.DirtyPages() == 0 {
 		t.Fatal("insert must dirty the WAL")
 	}
-	if len(r.memtable) != 1 {
+	if r.memtable.Len() != 1 {
 		t.Fatal("record missing from memtable")
 	}
 	k.CheckInvariants()
@@ -136,7 +137,7 @@ func TestRocksdbFlushOnFullMemtable(t *testing.T) {
 	if c := r.Read(0); c <= 0 {
 		t.Fatal("flushed record unreadable")
 	}
-	if len(r.cache) == 0 {
+	if r.cache.Len() == 0 {
 		t.Fatal("SST read must populate the block cache")
 	}
 	k.CheckInvariants()
@@ -171,9 +172,9 @@ func TestRocksdbSSTReadsShareTheDisk(t *testing.T) {
 		}
 	}
 	reads0 := k.Disk().Reads
-	r.cache = map[int64]*alloc.Block{} // empty the block cache
+	r.cache = flatmap.New[*alloc.Block](0) // empty the block cache
 	r.cacheBytes = 0
-	r.cacheOrder = nil
+	r.cacheOrder = flatmap.Ring{}
 	if c := r.Read(0); c < simtime.Millisecond {
 		t.Fatalf("cold SST read cost %v, want disk-scale", c)
 	}

@@ -1,0 +1,53 @@
+// Single-node hot-path benchmarks: one node, one shard, the default
+// open-loop load — the per-request path ISSUE 3 rebuilt to be
+// (near-)zero-allocation: flat service tables, pooled Blocks with inline
+// meta, intrusive LRU spans. Tracked alongside BenchmarkCluster* from
+// PR 3 on.
+//
+// CI runs these with -benchtime=1x as a smoke test; locally,
+// `go test -bench=BenchmarkNode -benchmem` gives the comparison, and
+// `hermes-bench -bench-node BENCH_node.json` captures the committed
+// trajectory at the full 1M-request scale (see EXPERIMENTS.md).
+package hermes_test
+
+import (
+	"testing"
+
+	hermes "github.com/hermes-sim/hermes"
+)
+
+const benchNodeRequests = 100_000
+
+func runNodeBench(b *testing.B, kind hermes.AllocatorKind) {
+	cfg := hermes.DefaultClusterConfig()
+	cfg.Nodes = 1
+	cfg.Shards = 1
+	cfg.Allocator = kind
+	cfg.Stats = hermes.StatsHistogram
+	load := hermes.DefaultLoadConfig()
+	load.Requests = benchNodeRequests
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c := hermes.NewCluster(cfg)
+		rep := c.Run(load)
+		c.Close()
+		if rep.Requests != load.Requests {
+			b.Fatalf("served %d requests, want %d", rep.Requests, load.Requests)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(rep.Cluster.P99.Nanoseconds()), "p99-ns")
+		}
+	}
+}
+
+// BenchmarkNodeGlibc drives the Glibc-backed single-node path.
+func BenchmarkNodeGlibc(b *testing.B) { runNodeBench(b, hermes.AllocGlibc) }
+
+// BenchmarkNodeJemalloc drives the jemalloc-backed single-node path.
+func BenchmarkNodeJemalloc(b *testing.B) { runNodeBench(b, hermes.AllocJemalloc) }
+
+// BenchmarkNodeTCMalloc drives the TCMalloc-backed single-node path.
+func BenchmarkNodeTCMalloc(b *testing.B) { runNodeBench(b, hermes.AllocTCMalloc) }
+
+// BenchmarkNodeHermes drives the Hermes-backed single-node path.
+func BenchmarkNodeHermes(b *testing.B) { runNodeBench(b, hermes.AllocHermes) }
