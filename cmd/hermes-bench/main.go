@@ -10,6 +10,8 @@
 //	hermes-bench -bench-node BENCH_node.json [-node-requests 1000000]
 //	             [-node-allocators glibc,jemalloc,tcmalloc,hermes]
 //	             [-node-baseline baseline.json]
+//	hermes-bench -bench-workload BENCH_workload.json [-workload-draws N]
+//	             [-workload-reps 3]
 //
 // With no -run flag every experiment runs in paper order. -json emits
 // machine-readable experiment reports instead of tables; -cpuprofile and
@@ -23,6 +25,12 @@
 // embeds a previous -bench-node output as the baseline and computes
 // speedups — the committed BENCH_node.json tracks the hot-path trajectory
 // this way (see EXPERIMENTS.md).
+//
+// -bench-workload benchmarks workload generation alone — the LoadDriver
+// loop, the Zipf+exponential draw pair and the log-normal jitter
+// multiplier — on both the legacy (stdlib-algorithm) and randgen
+// generators, reporting median-of-reps walls and speedups; the committed
+// BENCH_workload.json is its output (see EXPERIMENTS.md).
 package main
 
 import (
@@ -57,6 +65,9 @@ func run() error {
 	nodeAllocators := flag.String("node-allocators", "glibc,jemalloc,tcmalloc,hermes", "comma-separated allocator kinds for -bench-node")
 	nodeService := flag.String("node-service", "redis", "service kind for -bench-node: redis or rocksdb")
 	nodeBaseline := flag.String("node-baseline", "", "embed a previous -bench-node output as the baseline and compute speedups")
+	benchWorkload := flag.String("bench-workload", "", "benchmark the workload generators (legacy vs randgen) and write the JSON trajectory to this file")
+	workloadDraws := flag.Int64("workload-draws", 20_000_000, "draws per generator measurement for -bench-workload")
+	workloadReps := flag.Int("workload-reps", 3, "repetitions per measurement for -bench-workload (median reported)")
 	flag.Parse()
 
 	if *cpuprofile != "" {
@@ -83,6 +94,15 @@ func run() error {
 				fmt.Fprintln(os.Stderr, "hermes-bench:", err)
 			}
 		}()
+	}
+
+	if *benchWorkload != "" {
+		return runWorkloadBench(workloadBenchConfig{
+			path:  *benchWorkload,
+			draws: *workloadDraws,
+			reps:  *workloadReps,
+			seed:  *seed,
+		})
 	}
 
 	if *benchNode != "" {

@@ -122,6 +122,9 @@ type (
 	LoadConfig = workload.LoadConfig
 	LoadDriver = workload.LoadDriver
 	Request    = workload.Request
+	// Generator selects LoadDriver's sampling machinery (see GenFast and
+	// GenLegacy).
+	Generator = workload.Generator
 )
 
 // Allocator and service kinds for ClusterConfig.
@@ -144,6 +147,15 @@ const (
 const (
 	PressureAnon = workload.PressureAnon
 	PressureFile = workload.PressureFile
+)
+
+// Workload generator kinds for LoadConfig.Generator: GenFast is the
+// randgen subsystem (splittable streams, alias-table Zipf, ziggurat
+// variates); GenLegacy is the stdlib-algorithm escape hatch, also
+// selectable process-wide with HERMES_WORKLOAD=legacy.
+const (
+	GenFast   = workload.GenFast
+	GenLegacy = workload.GenLegacy
 )
 
 // DefaultHermesConfig returns the paper's Hermes settings (§4): 2 ms

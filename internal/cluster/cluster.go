@@ -17,6 +17,7 @@ import (
 	"github.com/hermes-sim/hermes/internal/simtime"
 	"github.com/hermes-sim/hermes/internal/stats"
 	"github.com/hermes-sim/hermes/internal/workload"
+	"github.com/hermes-sim/hermes/internal/workload/randgen"
 )
 
 // AllocatorKind selects the malloc library backing every shard.
@@ -245,8 +246,10 @@ func New(cfg Config) *Cluster {
 	for i := 0; i < cfg.Nodes; i++ {
 		names[i] = fmt.Sprintf("node-%02d", i)
 		kcfg := cfg.Kernel
-		// splitmix64's increment keeps per-node streams well separated.
-		kcfg.Seed = cfg.Seed + uint64(i+1)*0x9e3779b97f4a7c15
+		// Every node owns sub-seed i of the cluster seed; all of the
+		// node's streams (kernel jitter, pressure, …) split again from it,
+		// so no two nodes — and no two subsystems — ever share a sequence.
+		kcfg.Seed = randgen.SplitSeed(cfg.Seed, uint64(i))
 		sched := simtime.NewScheduler()
 		n := &Node{
 			Index:  i,

@@ -89,6 +89,67 @@ func TestSeedReplayParallelMatchesSequential(t *testing.T) {
 	}
 }
 
+// TestNodeStreamIndependence pins the randgen splittability contract at
+// cluster level: a node's draw sequence is a pure function of (cluster
+// seed, node index). Consuming other nodes' streams first — in any order —
+// must not change it. This is the property the parallel engine's
+// bit-identity to the sequential engine rests on.
+func TestNodeStreamIndependence(t *testing.T) {
+	cfg, _ := churnScenario()
+	cfg.Batch = nil // no background machinery; we only probe the streams
+	const draws = 16
+
+	drawNode := func(c *Cluster, idx int) []float64 {
+		out := make([]float64, draws)
+		for i := range out {
+			out[i] = c.Nodes()[idx].Kernel().RNG().Float64()
+		}
+		return out
+	}
+
+	// Reference: each node drained on a fresh cluster before any sibling.
+	want := make([][]float64, cfg.Nodes)
+	for idx := 0; idx < cfg.Nodes; idx++ {
+		c := New(cfg)
+		want[idx] = drawNode(c, idx)
+		c.Close()
+	}
+	// Reordered: drain nodes highest-index first on one cluster.
+	c := New(cfg)
+	defer c.Close()
+	for idx := cfg.Nodes - 1; idx >= 0; idx-- {
+		got := drawNode(c, idx)
+		for i := range got {
+			if got[i] != want[idx][i] {
+				t.Fatalf("node %d draw %d = %v after reordering node execution, want %v",
+					idx, i, got[i], want[idx][i])
+			}
+		}
+	}
+	// Distinct nodes must not share a stream.
+	if want[0][0] == want[1][0] && want[0][1] == want[1][1] {
+		t.Fatal("nodes 0 and 1 draw the identical sequence")
+	}
+}
+
+// TestSeedReplayLegacyGenerator holds the escape-hatch generator to the
+// same determinism bar as the default: bit-identical replay and engine
+// equivalence on the churn scenario.
+func TestSeedReplayLegacyGenerator(t *testing.T) {
+	cfg, load := churnScenario()
+	load.Generator = workload.GenLegacy
+	first := runChurn(t, cfg, load)
+	again := runChurn(t, cfg, load)
+	if !reflect.DeepEqual(first, again) {
+		t.Fatalf("legacy-generator seed replay diverged:\nfirst: %+v\nagain: %+v", first, again)
+	}
+	cfg.Sequential = true
+	seq := runChurn(t, cfg, load)
+	if !reflect.DeepEqual(first, seq) {
+		t.Fatalf("legacy-generator parallel engine diverged from sequential:\npar: %+v\nseq: %+v", first, seq)
+	}
+}
+
 // TestClusterBackendEquivalence verifies the open-addressed service tables
 // against the Go-map fallback: the identical cluster run on either backend
 // must produce a bit-identical Report. This is the equivalence check behind

@@ -14,9 +14,9 @@ package kernel
 import (
 	"fmt"
 	"math"
-	"math/rand/v2"
 
 	"github.com/hermes-sim/hermes/internal/simtime"
+	"github.com/hermes-sim/hermes/internal/workload/randgen"
 )
 
 // Config describes the simulated node. The defaults mirror the paper's
@@ -121,7 +121,7 @@ type OOMHandler func(k *Kernel, at simtime.Time, needPages int64) bool
 type Kernel struct {
 	cfg   Config
 	sched *simtime.Scheduler
-	rng   *rand.Rand
+	rng   *randgen.Stream
 	disk  *Disk
 
 	totalPages int64
@@ -159,7 +159,7 @@ func New(sched *simtime.Scheduler, cfg Config) *Kernel {
 	k := &Kernel{
 		cfg:        cfg,
 		sched:      sched,
-		rng:        rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0x9e3779b97f4a7c15)),
+		rng:        randgen.Split(cfg.Seed, streamKernel),
 		disk:       NewDisk(cfg.Disk),
 		totalPages: cfg.TotalMemory / cfg.PageSize,
 		swapTotal:  cfg.SwapBytes / cfg.PageSize,
@@ -201,9 +201,32 @@ func (k *Kernel) Costs() CostModel { return k.cfg.Costs }
 // PageSize returns the page size in bytes.
 func (k *Kernel) PageSize() int64 { return k.cfg.PageSize }
 
-// RNG exposes the kernel's deterministic random source so workloads share
-// one stream (a single seed reproduces a whole experiment).
-func (k *Kernel) RNG() *rand.Rand { return k.rng }
+// Stream IDs under a node's Config.Seed: every node-local subsystem derives
+// its own independent randgen stream from (Seed, id), so subsystems never
+// perturb each other's draw sequences. IDs are registered here — the one
+// place per-node randomness is rooted — to keep them collision-free.
+const (
+	// streamKernel drives the kernel's own stochastic choices and the
+	// request-latency jitter (workload.Jitter draws from Kernel.RNG).
+	streamKernel uint64 = iota
+	// StreamPressure drives workload.StartPressure's co-tenant behaviour.
+	StreamPressure
+)
+
+// RNG exposes the kernel's deterministic random stream: request jitter and
+// the kernel's own stochastic choices share it, so a single seed reproduces
+// a whole experiment.
+func (k *Kernel) RNG() *randgen.Stream { return k.rng }
+
+// NewStream derives an independent stream (id, instance) from the node's
+// seed (ids are registered in the Stream* table; instance distinguishes
+// coexisting subsystems of one kind — e.g. a generator's PID). Subsystems
+// that draw outside the kernel's own sequence — pressure generators,
+// future co-tenants — take their stream here instead of sharing RNG, so
+// their draws never shift the kernel's, nor each other's.
+func (k *Kernel) NewStream(id, instance uint64) *randgen.Stream {
+	return randgen.Split(randgen.SplitSeed(k.cfg.Seed, id), instance)
+}
 
 // Stats returns a copy of the event counters.
 func (k *Kernel) Stats() Stats { return k.stats }

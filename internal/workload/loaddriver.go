@@ -2,9 +2,11 @@ package workload
 
 import (
 	"fmt"
-	mrand "math/rand"
+	randv2 "math/rand/v2"
+	"os"
 
 	"github.com/hermes-sim/hermes/internal/simtime"
+	"github.com/hermes-sim/hermes/internal/workload/randgen"
 )
 
 // Op is the request kind a LoadDriver emits.
@@ -44,6 +46,51 @@ type Request struct {
 	ValueBytes int64
 }
 
+// Generator selects the sampling machinery behind a LoadDriver.
+type Generator string
+
+const (
+	// GenFast is the default randgen-backed generator: splittable
+	// splitmix64 streams, alias-table Zipf keys, ziggurat exponential
+	// gaps — O(1) per draw with no transcendentals in the loop.
+	GenFast Generator = "fast"
+	// GenLegacy is the escape hatch (HERMES_WORKLOAD=legacy): stdlib
+	// math/rand/v2 machinery with rejection-inversion Zipf, kept for
+	// debugging and for benchmarking the generator overhaul. Its streams
+	// are not bit-compatible with GenFast's (nor with the pre-overhaul
+	// math/rand streams, which are retired); determinism per seed holds
+	// on either generator.
+	GenLegacy Generator = "legacy"
+)
+
+// defaultGenerator mirrors flatmap's backend switch: an env escape hatch
+// resolved once at startup, overridable in-process for tests.
+var defaultGenerator = func() Generator {
+	if os.Getenv("HERMES_WORKLOAD") == "legacy" {
+		return GenLegacy
+	}
+	return GenFast
+}()
+
+// DefaultGenerator returns the process-wide default workload generator.
+func DefaultGenerator() Generator { return defaultGenerator }
+
+// SetDefaultGenerator overrides the default generator for LoadDrivers
+// created afterwards and returns the previous default (tests restore it).
+func SetDefaultGenerator(g Generator) Generator {
+	prev := defaultGenerator
+	defaultGenerator = g
+	return prev
+}
+
+// streamLoadDriver is the LoadDriver's stream id under LoadConfig.Seed —
+// a domain-separation constant (ASCII "load-drv") far outside the small
+// node-local id registry (kernel.Stream*). Ids must differ even across
+// namespaces: a load driver and a node handed the *same* seed (both
+// default to 1) would otherwise split the identical stream and correlate
+// jitter noise with the request pattern.
+const streamLoadDriver uint64 = 0x6c6f61642d647276
+
 // LoadConfig tunes an open-loop request generator.
 type LoadConfig struct {
 	// Requests is the total number of requests to emit.
@@ -66,6 +113,9 @@ type LoadConfig struct {
 	// Seed drives all stochastic choices; one seed reproduces the exact
 	// request stream.
 	Seed uint64
+	// Generator selects the sampling machinery; empty means the
+	// process-wide default (GenFast unless HERMES_WORKLOAD=legacy).
+	Generator Generator
 }
 
 // DefaultLoadConfig returns a YCSB-flavoured default: 1 M requests at
@@ -93,7 +143,21 @@ func (c LoadConfig) Validate() error {
 	if c.ReadFraction < 0 || c.ReadFraction > 1 {
 		return fmt.Errorf("workload: read fraction %v outside [0,1]", c.ReadFraction)
 	}
+	switch c.Generator {
+	case "", GenFast, GenLegacy:
+	default:
+		return fmt.Errorf("workload: unknown generator %q", c.Generator)
+	}
 	return nil
+}
+
+// GeneratorKind resolves the configured generator, falling back to the
+// process-wide default so the zero LoadConfig value works.
+func (c LoadConfig) GeneratorKind() Generator {
+	if c.Generator == "" {
+		return defaultGenerator
+	}
+	return c.Generator
 }
 
 // LoadDriver generates an open-loop keyed request stream. It is a pull
@@ -102,11 +166,25 @@ func (c LoadConfig) Validate() error {
 // config and seed produce the identical stream, which is what makes whole
 // cluster runs reproducible.
 type LoadDriver struct {
-	cfg     LoadConfig
-	rng     *mrand.Rand
-	zipf    *mrand.Zipf
+	cfg LoadConfig
+
+	// Fast path: an independent randgen stream split from the load seed,
+	// with alias-table Zipf keys and ziggurat exponential gaps.
+	rng  *randgen.Stream
+	zipf *randgen.Zipf
+
+	// Legacy escape hatch: stdlib machinery, nil unless selected.
+	legacy *legacyGen
+
 	next    simtime.Time
 	emitted int64
+}
+
+// legacyGen is the GenLegacy sampling state: math/rand/v2's PCG with the
+// stdlib's rejection-inversion Zipf and ziggurat helpers.
+type legacyGen struct {
+	rng  *randv2.Rand
+	zipf *randv2.Zipf
 }
 
 // NewLoadDriver validates the config and positions the stream at its first
@@ -115,10 +193,18 @@ func NewLoadDriver(cfg LoadConfig) *LoadDriver {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	rng := mrand.New(mrand.NewSource(int64(cfg.Seed)))
-	d := &LoadDriver{cfg: cfg, rng: rng, next: cfg.Start}
+	d := &LoadDriver{cfg: cfg, next: cfg.Start}
+	if cfg.GeneratorKind() == GenLegacy {
+		rng := randv2.New(randv2.NewPCG(cfg.Seed, cfg.Seed^0x9e3779b97f4a7c15))
+		d.legacy = &legacyGen{rng: rng}
+		if cfg.ZipfS > 0 {
+			d.legacy.zipf = randv2.NewZipf(rng, cfg.ZipfS, 1, uint64(cfg.Keys-1))
+		}
+		return d
+	}
+	d.rng = randgen.Split(cfg.Seed, streamLoadDriver)
 	if cfg.ZipfS > 0 {
-		d.zipf = mrand.NewZipf(rng, cfg.ZipfS, 1, uint64(cfg.Keys-1))
+		d.zipf = randgen.NewZipf(d.rng, cfg.ZipfS, 1, uint64(cfg.Keys-1))
 	}
 	return d
 }
@@ -136,15 +222,26 @@ func (d *LoadDriver) Next() (req Request, ok bool) {
 	if d.emitted >= d.cfg.Requests {
 		return Request{}, false
 	}
-	req = Request{At: d.next, Key: d.key()}
-	if d.rng.Float64() < d.cfg.ReadFraction {
+	var key int64
+	var opU, gap float64
+	if l := d.legacy; l != nil {
+		key = l.key(d.cfg)
+		opU = l.rng.Float64()
+		gap = l.rng.ExpFloat64()
+	} else {
+		key = d.key()
+		opU = d.rng.Float64()
+		gap = d.rng.ExpFloat64()
+	}
+	req = Request{At: d.next, Key: key}
+	if opU < d.cfg.ReadFraction {
 		req.Op = OpRead
 	} else {
 		req.Op = OpWrite
 		req.ValueBytes = d.cfg.ValueBytes
 	}
 	d.emitted++
-	gap := d.rng.ExpFloat64() / d.cfg.RatePerSec // seconds of virtual time
+	gap /= d.cfg.RatePerSec // seconds of virtual time
 	d.next = d.next.Add(simtime.Duration(gap * float64(simtime.Second)))
 	return req, true
 }
@@ -153,5 +250,12 @@ func (d *LoadDriver) key() int64 {
 	if d.zipf != nil {
 		return int64(d.zipf.Uint64())
 	}
-	return d.rng.Int63n(d.cfg.Keys)
+	return d.rng.Int64N(d.cfg.Keys)
+}
+
+func (l *legacyGen) key(cfg LoadConfig) int64 {
+	if l.zipf != nil {
+		return int64(l.zipf.Uint64())
+	}
+	return l.rng.Int64N(cfg.Keys)
 }

@@ -6,12 +6,12 @@ package workload
 
 import (
 	"fmt"
-	"math"
 
 	"github.com/hermes-sim/hermes/internal/alloc"
 	"github.com/hermes-sim/hermes/internal/kernel"
 	"github.com/hermes-sim/hermes/internal/simtime"
 	"github.com/hermes-sim/hermes/internal/stats"
+	"github.com/hermes-sim/hermes/internal/workload/randgen"
 )
 
 // Jitter applies the cost model's measurement noise and the ambient
@@ -41,7 +41,10 @@ func jitter(k *kernel.Kernel, d simtime.Duration, ambient bool) simtime.Duration
 		out = simtime.Duration(float64(out) * (1 + k.AmbientFactor(k.Scheduler().Now())))
 	}
 	if costs.JitterSigma > 0 {
-		out = simtime.Duration(float64(out) * math.Exp(rng.NormFloat64()*costs.JitterSigma))
+		// Log-normal spread on the kernel's jitter stream: ziggurat
+		// normal and table-driven exp — the per-request path carries no
+		// math.Exp/NormFloat64 calls (see internal/workload/randgen).
+		out = simtime.Duration(float64(out) * randgen.FastExp(rng.NormFloat64()*costs.JitterSigma))
 	}
 	if costs.JitterSpikeProb > 0 && rng.Float64() < costs.JitterSpikeProb {
 		out += costs.JitterSpikeCost

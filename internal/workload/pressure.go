@@ -5,6 +5,7 @@ import (
 
 	"github.com/hermes-sim/hermes/internal/kernel"
 	"github.com/hermes-sim/hermes/internal/simtime"
+	"github.com/hermes-sim/hermes/internal/workload/randgen"
 )
 
 // PressureKind selects which Figure 3 regime a generator produces.
@@ -68,7 +69,10 @@ type Pressure struct {
 	proc  *kernel.Process
 	task  *simtime.PeriodicTask
 	files []*kernel.File
-	next  int
+	// rng is the generator's own stream — (kernel.StreamPressure, PID)
+	// under the node seed: its draws never shift the kernel's jitter
+	// sequence, nor a coexisting generator's, and vice versa.
+	rng *randgen.Stream
 
 	// AnonPages counts pages the generator has faulted in.
 	AnonPages int64
@@ -94,6 +98,9 @@ func StartPressure(k *kernel.Kernel, cfg PressureConfig) *Pressure {
 		cfg:  cfg,
 		proc: k.CreateProcess(fmt.Sprintf("pressure-%v", cfg.Kind)),
 	}
+	// Keyed by PID so coexisting generators on one node draw distinct
+	// sequences (PID assignment is itself deterministic).
+	p.rng = k.NewStream(kernel.StreamPressure, uint64(p.proc.PID))
 	s := k.Scheduler()
 	if cfg.Kind == PressureFile {
 		// Load the working files: they fill the page cache and stay there
@@ -123,10 +130,11 @@ func StartPressure(k *kernel.Kernel, cfg PressureConfig) *Pressure {
 	p.task = simtime.NewPeriodicTask(s, cfg.Period, func(now simtime.Time) simtime.Duration {
 		// The file generator keeps re-reading its working set, so dropped
 		// cache (reclaim or the monitor daemon's fadvise) is reloaded over
-		// time — the tug-of-war a real co-tenant produces.
+		// time — the tug-of-war a real co-tenant produces. File choice is
+		// a draw from the generator's own stream: irregular, like a real
+		// co-tenant's access pattern, yet a pure function of the seed.
 		if len(p.files) > 0 {
-			f := p.files[p.next%len(p.files)]
-			p.next++
+			f := p.files[p.rng.IntN(len(p.files))]
 			p.k.ReadFile(now, f, f.SizePages()/8)
 		}
 		return 20 * simtime.Microsecond

@@ -1,0 +1,131 @@
+package randgen
+
+import "math"
+
+// Ziggurat samplers for the exponential and the standard normal — the two
+// variates the workload layer draws per request (Poisson inter-arrival
+// gaps, log-normal latency jitter). The ziggurat covers the density with a
+// stack of equal-area horizontal strips; a draw picks a strip and a
+// horizontal position, and almost always (≈98% of draws) accepts with one
+// table lookup and one compare. The transcendental fallbacks (strip wedge,
+// distribution tail) are exact, so the sampler produces the true
+// distribution, not an approximation — the chi-square equivalence tests
+// hold it to the stdlib samplers' own tolerance.
+//
+// Tables are built once at package init from the classic Marsaglia–Tsang
+// constants: 256 strips for the exponential, 128 for the normal (matching
+// the layer counts the stdlib ziggurats use).
+
+const (
+	// zigExpR is the right edge of the exponential base strip and zigExpV
+	// the common strip area for e^{-x} with 256 strips.
+	zigExpR = 7.69711747013104972
+	zigExpV = 3.949659822581572e-3
+
+	// zigNormR and zigNormV are the analogous constants for the one-sided
+	// standard normal density e^{-x²/2} with 128 strips.
+	zigNormR = 3.442619855899
+	zigNormV = 9.91256303526217e-3
+)
+
+// expX[i] is strip i's right edge (expX[0] is the base strip's pseudo-width
+// V/f(R), which folds the tail mass into the bottom strip); expY[i] is the
+// density at expX[i]. Same layout for the normal tables.
+var (
+	expX  [257]float64
+	expY  [257]float64
+	normX [129]float64
+	normY [129]float64
+)
+
+func init() {
+	fe := func(x float64) float64 { return math.Exp(-x) }
+	expX[0] = zigExpV / fe(zigExpR)
+	expX[1] = zigExpR
+	for i := 2; i < 256; i++ {
+		// Each strip has area V: f(x_i) = f(x_{i-1}) + V/x_{i-1}.
+		expX[i] = -math.Log(fe(expX[i-1]) + zigExpV/expX[i-1])
+	}
+	expX[256] = 0
+	for i := range expX {
+		expY[i] = fe(expX[i])
+	}
+
+	fn := func(x float64) float64 { return math.Exp(-0.5 * x * x) }
+	normX[0] = zigNormV / fn(zigNormR)
+	normX[1] = zigNormR
+	for i := 2; i < 128; i++ {
+		y := fn(normX[i-1]) + zigNormV/normX[i-1]
+		normX[i] = math.Sqrt(-2 * math.Log(y))
+	}
+	normX[128] = 0
+	for i := range normX {
+		normY[i] = fn(normX[i])
+	}
+}
+
+// ExpFloat64 returns an exponential variate with rate 1.
+func (s *Stream) ExpFloat64() float64 {
+	for {
+		b := s.Uint64()
+		i := b & 255                  // strip index: low 8 bits
+		u := float64(b>>11) * 0x1p-53 // position: high 53 bits
+		x := u * expX[i]
+		if x < expX[i+1] {
+			return x // interior of the strip below: accept
+		}
+		if i == 0 {
+			// Tail beyond R: the exponential is memoryless, so the tail
+			// is R plus a fresh draw.
+			return zigExpR + s.ExpFloat64()
+		}
+		// Wedge between this strip's edge and the density curve. The
+		// explicit conversion pins the product to one IEEE rounding so the
+		// package's own arithmetic cannot be fused into an FMA and flip an
+		// accept. (The math.Exp operand is stdlib territory: Go ships
+		// per-arch implementations, so bit-identical replay is a
+		// per-platform guarantee — the contract the determinism tests
+		// gate — not a cross-ISA one.)
+		if expY[i]+float64(s.Float64()*(expY[i+1]-expY[i])) < math.Exp(-x) {
+			return x
+		}
+	}
+}
+
+// NormFloat64 returns a standard normal variate. The sign is applied by
+// copying draw bit 7 into the float's sign bit — branchless, because a
+// 50/50 unpredictable branch would cost more than the rest of the fast
+// path combined.
+func (s *Stream) NormFloat64() float64 {
+	for {
+		b := s.Uint64()
+		i := b & 127                  // strip index: low 7 bits
+		sign := (b & 128) << 56       // sign: bit 7, moved to the IEEE sign bit
+		u := float64(b>>11) * 0x1p-53 // position: high 53 bits
+		x := u * normX[i]
+		if x < normX[i+1] {
+			return math.Float64frombits(math.Float64bits(x) | sign)
+		}
+		if i == 0 {
+			x = s.normTail()
+			return math.Float64frombits(math.Float64bits(x) | sign)
+		}
+		// Wedge test; conversion pinned against FMA fusion as in the
+		// exponential sampler.
+		if normY[i]+float64(s.Float64()*(normY[i+1]-normY[i])) < math.Exp(-0.5*x*x) {
+			return math.Float64frombits(math.Float64bits(x) | sign)
+		}
+	}
+}
+
+// normTail samples the normal tail beyond R by Marsaglia's method.
+func (s *Stream) normTail() float64 {
+	for {
+		// 1-Float64 is uniform on (0, 1]; log(0) never happens.
+		x := -math.Log(1-s.Float64()) / zigNormR
+		y := -math.Log(1 - s.Float64())
+		if y+y >= x*x {
+			return zigNormR + x
+		}
+	}
+}

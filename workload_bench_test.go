@@ -1,0 +1,48 @@
+// Workload-generator benchmarks: the open-loop LoadDriver on its two
+// sampling backends. ISSUE 4 rebuilt generation on internal/workload/randgen
+// (splittable splitmix64 streams, alias-table Zipf, ziggurat exponentials);
+// the legacy stdlib-algorithm path stays benchmarkable behind
+// LoadConfig.Generator for the before/after record.
+//
+// CI runs these with -benchtime=1x as a smoke test; the committed
+// BENCH_workload.json captures the full-scale trajectory via
+// `hermes-bench -bench-workload` (see EXPERIMENTS.md). Per-primitive
+// comparisons (Zipf, exp, normal, FastExp) live in
+// internal/workload/randgen's benchmarks.
+package hermes_test
+
+import (
+	"testing"
+
+	hermes "github.com/hermes-sim/hermes"
+)
+
+func runDriverBench(b *testing.B, gen hermes.Generator) {
+	load := hermes.DefaultLoadConfig()
+	load.Requests = int64(b.N)
+	load.Generator = gen
+	// Construction (alias-table build for the fast path) stays outside
+	// the timer: it is once per config, amortised over millions of draws.
+	d := hermes.NewLoadDriver(load)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink int64
+	for {
+		r, ok := d.Next()
+		if !ok {
+			break
+		}
+		sink += r.Key
+	}
+	if sink < 0 {
+		b.Fatal("impossible: negative key sum")
+	}
+}
+
+// BenchmarkWorkloadDriverFast draws the default Zipf/Poisson stream from
+// the randgen generator — the per-request cost Cluster.Run pays.
+func BenchmarkWorkloadDriverFast(b *testing.B) { runDriverBench(b, hermes.GenFast) }
+
+// BenchmarkWorkloadDriverLegacy draws the identical stream shape from the
+// stdlib-algorithm escape hatch.
+func BenchmarkWorkloadDriverLegacy(b *testing.B) { runDriverBench(b, hermes.GenLegacy) }
