@@ -11,6 +11,7 @@ package hermes_test
 
 import (
 	"testing"
+	"time"
 
 	hermes "github.com/hermes-sim/hermes"
 )
@@ -41,8 +42,10 @@ func runClusterBench(b *testing.B, sequential bool, mode hermes.StatsMode) {
 	}
 }
 
-// BenchmarkClusterSequentialRaw is the seed engine: one goroutine in
-// global arrival order, every sample kept raw.
+// BenchmarkClusterSequentialRaw is the seed engine shape: one goroutine in
+// global arrival order, every sample kept raw. Since the scenario API
+// redesign this path runs through Cluster.Run's single-phase adapter, so
+// the number also guards the scenario layer's overhead on flat loads.
 func BenchmarkClusterSequentialRaw(b *testing.B) {
 	runClusterBench(b, true, hermes.StatsRaw)
 }
@@ -57,4 +60,47 @@ func BenchmarkClusterParallelRaw(b *testing.B) {
 // per-node execution with bounded-memory streaming histograms.
 func BenchmarkClusterParallelHistogram(b *testing.B) {
 	runClusterBench(b, false, hermes.StatsHistogram)
+}
+
+// BenchmarkClusterScenarioPhased drives the full scenario machinery — three
+// phases, two traffic classes, rate shaping and a squeeze/release timeline —
+// through the parallel engine with streaming histograms: the fleet-scale
+// scenario path end to end.
+func BenchmarkClusterScenarioPhased(b *testing.B) {
+	classes := []hermes.TrafficClass{
+		{Name: "point", Rate: 40_000, Keys: 100_000, ZipfS: 1.1, ReadFraction: 0.5, ValueBytes: 1024},
+		{Name: "bulk", Rate: 10_000, Keys: 10_000, ReadFraction: 0.2, ValueBytes: 8192},
+	}
+	scn := hermes.Scenario{
+		Name: "bench",
+		Seed: 1,
+		Phases: []hermes.ScenarioPhase{
+			{Name: "warm", Duration: 600 * hermes.Duration(time.Millisecond), Classes: classes},
+			{
+				Name: "ramp", Duration: 600 * hermes.Duration(time.Millisecond),
+				Shape:   hermes.RateShape{Kind: hermes.ShapeRamp, From: 1, To: 3},
+				Classes: classes,
+			},
+			{Name: "drain", Requests: benchClusterRequests / 4, Classes: classes[:1]},
+		},
+		Events: []hermes.ScenarioEvent{
+			{At: 500 * hermes.Duration(time.Millisecond), Node: -1, Kind: hermes.EventSqueezeStart, Bytes: 256 << 20},
+			{At: 1100 * hermes.Duration(time.Millisecond), Node: -1, Kind: hermes.EventSqueezeStop},
+		},
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c := hermes.NewCluster(benchClusterConfig(false, hermes.StatsHistogram))
+		rep, err := c.RunScenario(scn)
+		c.Close()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Requests == 0 || len(rep.Phases) != 3 {
+			b.Fatalf("scenario bench served %d requests over %d phases", rep.Requests, len(rep.Phases))
+		}
+		if i == 0 {
+			b.ReportMetric(float64(rep.Cluster.P99.Nanoseconds()), "p99-ns")
+		}
+	}
 }

@@ -20,11 +20,15 @@
 //
 // Beyond the single-node evaluation, the cluster layer scales the
 // simulation to a fleet: NewCluster boots N nodes with service shards
-// placed by a consistent-hashing ShardRouter, and Cluster.Run drives them
-// with an open-loop keyed workload (configurable arrival rate, Zipf key
-// skew, read/write mix), producing per-shard, per-node and cluster-wide
-// latency digests — deterministically, so one seed reproduces a whole
-// cluster run. See docs/ARCHITECTURE.md for the layering.
+// placed by a consistent-hashing ShardRouter, and Cluster.RunScenario
+// drives them with a declarative Scenario — ordered phases of traffic
+// classes (each with its own key space, skew, mix and value sizes) under
+// ramp/spike/diurnal rate shaping, plus a virtual-time event timeline
+// (pressure storms, batch churn, daemon toggles, memory squeezes) —
+// producing phase-, class-, shard- and node-segmented latency digests.
+// Cluster.Run is the single-phase shorthand for a flat LoadConfig. All of
+// it is deterministic: one seed reproduces a whole cluster run. See
+// docs/ARCHITECTURE.md for the layering.
 package hermes
 
 import (
@@ -125,6 +129,44 @@ type (
 	// Generator selects LoadDriver's sampling machinery (see GenFast and
 	// GenLegacy).
 	Generator = workload.Generator
+
+	// Scenario is the declarative description of a whole cluster
+	// experiment: ordered phases of traffic classes plus a virtual-time
+	// event timeline, all reproduced exactly by one seed. Run one with
+	// Cluster.RunScenario.
+	Scenario = workload.Scenario
+	// ScenarioPhase is one stage of a scenario: traffic classes driven
+	// under a rate shape until a duration elapses or a request budget is
+	// spent.
+	ScenarioPhase = workload.Phase
+	// TrafficClass is one independent request population inside a phase
+	// (its own key space, skew, mix, value sizes and randgen stream).
+	TrafficClass = workload.TrafficClass
+	// RateShape modulates a phase's arrival rate (constant, ramp, spike
+	// or diurnal).
+	RateShape = workload.RateShape
+	// ShapeKind names a rate-shape curve.
+	ShapeKind = workload.ShapeKind
+	// ScenarioEvent is one timeline entry (pressure, batch churn, daemon
+	// or memory-squeeze transitions at a virtual instant).
+	ScenarioEvent = workload.Event
+	// ScenarioEventKind names a timeline action.
+	ScenarioEventKind = workload.EventKind
+	// ScenarioDriver generates a scenario's merged request stream.
+	ScenarioDriver = workload.ScenarioDriver
+	// ScenarioRequest is one generated request annotated with its phase
+	// and class.
+	ScenarioRequest = workload.ScenarioRequest
+
+	// ScenarioReport digests one scenario run: the base ClusterReport
+	// plus per-phase × per-class × per-node latency digests.
+	ScenarioReport = cluster.ScenarioReport
+	// ScenarioPhaseReport and ScenarioClassReport are its slices.
+	ScenarioPhaseReport = cluster.PhaseReport
+	ScenarioClassReport = cluster.ClassReport
+	// ScenarioSpec is a loaded scenario file: the scenario plus optional
+	// cluster-shape hints.
+	ScenarioSpec = cluster.ScenarioSpec
 )
 
 // Allocator and service kinds for ClusterConfig.
@@ -156,6 +198,26 @@ const (
 const (
 	GenFast   = workload.GenFast
 	GenLegacy = workload.GenLegacy
+)
+
+// Rate-shape kinds for ScenarioPhase.Shape.
+const (
+	ShapeConstant = workload.ShapeConstant
+	ShapeRamp     = workload.ShapeRamp
+	ShapeSpike    = workload.ShapeSpike
+	ShapeDiurnal  = workload.ShapeDiurnal
+)
+
+// Timeline event kinds for Scenario.Events.
+const (
+	EventPressureStart = workload.EventPressureStart
+	EventPressureStop  = workload.EventPressureStop
+	EventBatchStart    = workload.EventBatchStart
+	EventBatchStop     = workload.EventBatchStop
+	EventDaemonStart   = workload.EventDaemonStart
+	EventDaemonStop    = workload.EventDaemonStop
+	EventSqueezeStart  = workload.EventSqueezeStart
+	EventSqueezeStop   = workload.EventSqueezeStop
 )
 
 // DefaultHermesConfig returns the paper's Hermes settings (§4): 2 ms
@@ -304,3 +366,25 @@ func NewShardRouter(nodeNames []string, shards, replicas int) *ShardRouter {
 // NewLoadDriver creates an open-loop request generator; the same config
 // reproduces the identical stream.
 func NewLoadDriver(cfg LoadConfig) *LoadDriver { return workload.NewLoadDriver(cfg) }
+
+// NewScenarioDriver creates a scenario's merged request generator; the
+// same scenario reproduces the identical stream. Most callers want
+// Cluster.RunScenario, which also fires the event timeline.
+func NewScenarioDriver(scn Scenario) *ScenarioDriver { return workload.NewScenarioDriver(scn) }
+
+// ScenarioFromLoad lifts a flat LoadConfig onto the scenario surface: one
+// request-bounded phase, one class, no events — the exact stream
+// Cluster.Run drives.
+func ScenarioFromLoad(cfg LoadConfig) Scenario { return workload.ScenarioFromLoad(cfg) }
+
+// ParseScenario decodes and validates a scenario JSON document (durations
+// as Go duration strings; see examples/scenarios/).
+func ParseScenario(data []byte) (Scenario, error) { return workload.ParseScenario(data) }
+
+// MarshalScenarioJSON encodes a scenario into the spec-file wire format.
+func MarshalScenarioJSON(s Scenario) ([]byte, error) { return workload.MarshalScenarioJSON(s) }
+
+// ParseScenarioSpec decodes a scenario spec file: a bare scenario
+// document, or one wrapped with optional cluster-shape hints under a
+// "cluster" key.
+func ParseScenarioSpec(data []byte) (ScenarioSpec, error) { return cluster.ParseScenarioSpec(data) }

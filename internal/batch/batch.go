@@ -51,10 +51,26 @@ func DefaultConfig() Config {
 	}
 }
 
-func (c Config) validate() error {
-	if c.Jobs <= 0 || c.ContainersPerJob <= 0 || c.TargetBytes < 0 ||
-		c.WorkDuration <= 0 || c.RampTicks <= 0 || c.TickPeriod <= 0 {
-		return fmt.Errorf("batch: invalid config %+v", c)
+// Validate reports whether the configuration is well-formed, naming the
+// offending field so config loaders can surface the message verbatim.
+func (c Config) Validate() error {
+	if c.Jobs <= 0 {
+		return fmt.Errorf("batch: Jobs must be > 0 (got %d)", c.Jobs)
+	}
+	if c.ContainersPerJob <= 0 {
+		return fmt.Errorf("batch: ContainersPerJob must be > 0 (got %d)", c.ContainersPerJob)
+	}
+	if c.TargetBytes < 0 {
+		return fmt.Errorf("batch: TargetBytes must be >= 0 (got %d)", c.TargetBytes)
+	}
+	if c.WorkDuration <= 0 {
+		return fmt.Errorf("batch: WorkDuration must be > 0 (got %v)", c.WorkDuration)
+	}
+	if c.RampTicks <= 0 {
+		return fmt.Errorf("batch: RampTicks must be > 0 (got %d)", c.RampTicks)
+	}
+	if c.TickPeriod <= 0 {
+		return fmt.Errorf("batch: TickPeriod must be > 0 (got %v)", c.TickPeriod)
 	}
 	return nil
 }
@@ -107,7 +123,7 @@ type Runner struct {
 
 // NewRunner starts the batch workload. Stop halts it.
 func NewRunner(k *kernel.Kernel, cfg Config) *Runner {
-	if err := cfg.validate(); err != nil {
+	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
 	r := &Runner{k: k, cfg: cfg}

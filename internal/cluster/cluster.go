@@ -138,6 +138,21 @@ func (c Config) Validate() error {
 	default:
 		return fmt.Errorf("cluster: unknown stats mode %q", c.Stats)
 	}
+	if c.Pressure != nil {
+		if err := c.Pressure.Validate(); err != nil {
+			return fmt.Errorf("cluster: Pressure: %w", err)
+		}
+	}
+	if c.Batch != nil {
+		if err := c.Batch.Validate(); err != nil {
+			return fmt.Errorf("cluster: Batch: %w", err)
+		}
+	}
+	if c.Daemon != nil {
+		if err := c.Daemon.Validate(); err != nil {
+			return fmt.Errorf("cluster: Daemon: %w", err)
+		}
+	}
 	return nil
 }
 
@@ -210,6 +225,7 @@ type Node struct {
 	pressure *workload.Pressure
 	runner   *batch.Runner
 	refresh  *simtime.PeriodicTask
+	squeeze  *kernel.Process
 	closers  []func()
 }
 
@@ -284,61 +300,133 @@ func New(cfg Config) *Cluster {
 	}
 
 	// Background machinery starts after the shards exist so daemon and
-	// co-tenants see the final process set.
+	// co-tenants see the final process set. The start order — batch
+	// runner, pressure generator, registry refresh, daemon — fixes the
+	// scheduler's same-instant tie-break sequence and must not change.
 	for _, n := range c.nodes {
-		node := n
 		if cfg.Batch != nil {
-			node.runner = batch.NewRunner(node.kernel, *cfg.Batch)
-			node.kernel.SetOOMHandler(node.runner.HandleOOM)
+			c.startBatchRunner(n, *cfg.Batch)
 		}
 		if cfg.Pressure != nil {
-			node.pressure = workload.StartPressure(node.kernel, *cfg.Pressure)
-			if node.registry != nil {
-				node.registry.AddBatch(node.pressure.PID())
-			}
+			c.startPressure(n, *cfg.Pressure)
 		}
-		if node.registry != nil && node.runner != nil {
-			// The administrator registers batch containers; containers
-			// churn, so the registration refreshes periodically (§3.3).
-			register := func() {
-				for _, pid := range node.runner.PIDs() {
-					node.registry.AddBatch(pid)
-				}
-				for _, pid := range node.runner.InputFilePIDs() {
-					node.registry.AddBatch(pid)
-				}
-				// Prune churned containers so the registry doesn't grow
-				// without bound — but keep dead PIDs that still own cached
-				// files: completed jobs leave their input cache resident
-				// (§2.3) and the daemon must stay able to release it.
-				for _, pid := range node.registry.BatchPIDs() {
-					if p := node.kernel.Process(pid); p != nil && !p.Dead() {
-						continue
-					}
-					ownsCache := false
-					for _, f := range node.kernel.FilesOwnedBy(pid) {
-						if !f.Deleted() && f.CachedPages() > 0 {
-							ownsCache = true
-							break
-						}
-					}
-					if !ownsCache {
-						node.registry.RemoveBatch(pid)
-					}
-				}
-			}
-			register()
-			node.refresh = simtime.NewPeriodicTask(node.sched, 500*simtime.Millisecond,
-				func(simtime.Time) simtime.Duration {
-					register()
-					return 10 * simtime.Microsecond
-				})
-		}
-		if cfg.Daemon != nil && node.registry != nil {
-			node.daemon = monitor.NewDaemon(node.kernel, node.registry, *cfg.Daemon)
+		c.attachBatchRefresh(n)
+		if cfg.Daemon != nil && n.registry != nil {
+			c.startDaemon(n, *cfg.Daemon)
 		}
 	}
 	return c
+}
+
+// startBatchRunner launches churning batch co-tenants on the node and
+// routes kernel OOM to them.
+func (c *Cluster) startBatchRunner(n *Node, bcfg batch.Config) {
+	n.runner = batch.NewRunner(n.kernel, bcfg)
+	n.kernel.SetOOMHandler(n.runner.HandleOOM)
+}
+
+// stopBatchRunner halts the node's batch co-tenants and their registry
+// refresh; a no-op when none run.
+func (c *Cluster) stopBatchRunner(n *Node) {
+	if n.refresh != nil {
+		n.refresh.Stop()
+		n.refresh = nil
+	}
+	if n.runner != nil {
+		n.runner.Stop()
+		n.runner = nil
+		n.kernel.SetOOMHandler(nil)
+	}
+}
+
+// startPressure launches a pressure generator on the node and registers it
+// with the monitor registry (batch jobs are the daemon's targets).
+func (c *Cluster) startPressure(n *Node, pcfg workload.PressureConfig) {
+	n.pressure = workload.StartPressure(n.kernel, pcfg)
+	if n.registry != nil {
+		n.registry.AddBatch(n.pressure.PID())
+	}
+}
+
+// stopPressure halts the node's pressure generator; a no-op when none runs.
+func (c *Cluster) stopPressure(n *Node) {
+	if n.pressure == nil {
+		return
+	}
+	pid := n.pressure.PID()
+	n.pressure.Stop()
+	n.pressure = nil
+	if n.registry == nil {
+		return
+	}
+	// Deregister only if the dead generator left no resident cache: file
+	// pressure's working set stays cached after Stop, and the daemon can
+	// only release cache owned by registered batch PIDs — the same
+	// invariant the batch refresh prune keeps for churned containers.
+	for _, f := range n.kernel.FilesOwnedBy(pid) {
+		if !f.Deleted() && f.CachedPages() > 0 {
+			return
+		}
+	}
+	n.registry.RemoveBatch(pid)
+}
+
+// attachBatchRefresh wires the administrator's periodic batch registration
+// (§3.3) for a node running both a registry and a batch runner; a no-op
+// otherwise, or when already attached.
+func (c *Cluster) attachBatchRefresh(node *Node) {
+	if node.registry == nil || node.runner == nil || node.refresh != nil {
+		return
+	}
+	// The administrator registers batch containers; containers churn, so
+	// the registration refreshes periodically (§3.3).
+	register := func() {
+		for _, pid := range node.runner.PIDs() {
+			node.registry.AddBatch(pid)
+		}
+		for _, pid := range node.runner.InputFilePIDs() {
+			node.registry.AddBatch(pid)
+		}
+		// Prune churned containers so the registry doesn't grow
+		// without bound — but keep dead PIDs that still own cached
+		// files: completed jobs leave their input cache resident
+		// (§2.3) and the daemon must stay able to release it.
+		for _, pid := range node.registry.BatchPIDs() {
+			if p := node.kernel.Process(pid); p != nil && !p.Dead() {
+				continue
+			}
+			ownsCache := false
+			for _, f := range node.kernel.FilesOwnedBy(pid) {
+				if !f.Deleted() && f.CachedPages() > 0 {
+					ownsCache = true
+					break
+				}
+			}
+			if !ownsCache {
+				node.registry.RemoveBatch(pid)
+			}
+		}
+	}
+	register()
+	node.refresh = simtime.NewPeriodicTask(node.sched, 500*simtime.Millisecond,
+		func(simtime.Time) simtime.Duration {
+			register()
+			return 10 * simtime.Microsecond
+		})
+}
+
+// startDaemon launches the monitor daemon on the node (requires a
+// registry, i.e. the Hermes allocator).
+func (c *Cluster) startDaemon(n *Node, dcfg monitor.Config) {
+	n.daemon = monitor.NewDaemon(n.kernel, n.registry, dcfg)
+}
+
+// stopDaemon halts the node's daemon; a no-op when none runs.
+func (c *Cluster) stopDaemon(n *Node) {
+	if n.daemon != nil {
+		n.daemon.Stop()
+		n.daemon = nil
+	}
 }
 
 // Service resolves the configured service kind, defaulting to Redis so the
@@ -380,25 +468,16 @@ func (c *Cluster) Advance(d simtime.Duration) {
 	}
 }
 
-// Close stops pressure generators, daemons, services and allocators on
-// every node.
+// Close stops pressure generators, batch runners, daemons, squeezes,
+// services and allocators on every node.
 func (c *Cluster) Close() {
 	for _, n := range c.nodes {
-		if n.refresh != nil {
-			n.refresh.Stop()
-			n.refresh = nil
-		}
-		if n.pressure != nil {
-			n.pressure.Stop()
-			n.pressure = nil
-		}
-		if n.runner != nil {
-			n.runner.Stop()
-			n.runner = nil
-		}
-		if n.daemon != nil {
-			n.daemon.Stop()
-			n.daemon = nil
+		c.stopPressure(n)
+		c.stopBatchRunner(n)
+		c.stopDaemon(n)
+		if n.squeeze != nil {
+			n.kernel.ExitProcess(n.squeeze)
+			n.squeeze = nil
 		}
 		for _, f := range n.closers {
 			f()
@@ -485,8 +564,10 @@ func (c *Cluster) newRunState() *runState {
 // occupy the node for the raw service time. Each node is modelled as a
 // single-threaded server (the event-loop discipline of Redis itself): a
 // request that arrives while its node is still busy queues, and its
-// recorded latency is queueing delay plus jittered service time.
-func (c *Cluster) serve(st *runState, shardID int, req workload.Request) {
+// recorded latency is queueing delay plus jittered service time. The
+// returned latency is what was recorded, so callers can segment it into
+// additional digests.
+func (c *Cluster) serve(st *runState, shardID int, req workload.Request) simtime.Duration {
 	sh := c.shards[shardID]
 	n := sh.node
 	if req.At.After(n.sched.Now()) {
@@ -514,6 +595,7 @@ func (c *Cluster) serve(st *runState, shardID int, req workload.Request) {
 	sh.requests++
 	st.shard[shardID].Record(lat)
 	st.wait[n.Index].Record(wait)
+	return lat
 }
 
 // finish settles the fleet on a common horizon, merges the run-local
@@ -584,11 +666,19 @@ func (c *Cluster) finish(st *runState) Report {
 // the returned Report covers exactly that run (PerNode and PerShard sum to
 // Cluster); the shard and node Recorders keep accumulating across runs for
 // callers inspecting the whole history.
+//
+// Run is a thin adapter over the scenario layer: the load is lifted onto a
+// single-phase, single-class Scenario (ScenarioFromLoad) and executed by
+// RunScenario. The lifted class reuses the canonical load-driver stream,
+// so the Report is bit-identical to driving the LoadDriver directly — the
+// property TestRunMatchesDirectEngines pins against the RunSequential /
+// RunParallel escape hatches.
 func (c *Cluster) Run(load workload.LoadConfig) Report {
-	if c.cfg.Sequential || len(c.nodes) == 1 {
-		return c.RunSequential(load)
+	rep, err := c.RunScenario(workload.ScenarioFromLoad(load))
+	if err != nil {
+		panic(err)
 	}
-	return c.RunParallel(load)
+	return rep.Report
 }
 
 // RunSequential executes the run on one goroutine in global arrival order,

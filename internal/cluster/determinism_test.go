@@ -150,6 +150,37 @@ func TestSeedReplayLegacyGenerator(t *testing.T) {
 	}
 }
 
+// TestSeedReplayScenarioTimeline extends the seed-replay bar to the
+// scenario layer: a multi-phase, multi-class scenario with timeline events
+// (per-node squeeze, mid-run pressure storm) must replay bit-identically —
+// phase and class digests included — and the partitioned parallel engine
+// must match the sequential one bit for bit.
+func TestSeedReplayScenarioTimeline(t *testing.T) {
+	cfg, scn := eventScenario()
+	first := runScenario(t, cfg, scn)
+	again := runScenario(t, cfg, scn)
+	if !reflect.DeepEqual(first, again) {
+		t.Fatalf("scenario seed replay diverged:\nfirst: %+v\nagain: %+v", first, again)
+	}
+
+	cfg.Sequential = true
+	seq := runScenario(t, cfg, scn)
+	cfg.Sequential = false
+	if !reflect.DeepEqual(first, seq) {
+		t.Fatalf("scenario parallel engine diverged from sequential:\npar: %+v\nseq: %+v", first, seq)
+	}
+
+	// A different seed must not reproduce the run (guards against the
+	// scenario layer pinning its own constants).
+	other := scn
+	other.Seed = scn.Seed + 1
+	cfg2 := cfg
+	cfg2.Seed = cfg.Seed + 1
+	if diverged := runScenario(t, cfg2, other); reflect.DeepEqual(first.Cluster, diverged.Cluster) {
+		t.Fatal("different seed reproduced the identical cluster digest")
+	}
+}
+
 // TestClusterBackendEquivalence verifies the open-addressed service tables
 // against the Go-map fallback: the identical cluster run on either backend
 // must produce a bit-identical Report. This is the equivalence check behind

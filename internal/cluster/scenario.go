@@ -1,0 +1,476 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"github.com/hermes-sim/hermes/internal/batch"
+	"github.com/hermes-sim/hermes/internal/monitor"
+	"github.com/hermes-sim/hermes/internal/simtime"
+	"github.com/hermes-sim/hermes/internal/stats"
+	"github.com/hermes-sim/hermes/internal/workload"
+)
+
+// This file executes declarative scenarios (workload.Scenario) on a
+// cluster: the phased multi-class stream drives the same serve path as a
+// flat load, every timeline event fires deterministically inside the run
+// loop, and the resulting ScenarioReport segments latency per phase, class
+// and node on top of the base Report.
+
+// ClassReport digests one traffic class of one phase.
+type ClassReport struct {
+	// Name echoes the class name.
+	Name string
+	// Requests, Reads and Writes count the class's operations in the
+	// phase.
+	Requests, Reads, Writes int64
+	// Latency is the class's cluster-wide digest.
+	Latency stats.Summary
+	// PerNode slices the class digest by serving node (index order).
+	PerNode []stats.Summary
+}
+
+// PhaseReport digests one phase of a scenario run.
+type PhaseReport struct {
+	// Name echoes the phase name.
+	Name string
+	// Start and End bound the phase on the virtual timeline (End is the
+	// declared duration end, or the last arrival for request-bounded
+	// phases).
+	Start, End simtime.Time
+	// Requests counts the phase's requests across classes.
+	Requests int64
+	// Latency is the phase's cluster-wide digest across classes.
+	Latency stats.Summary
+	// Classes are the per-class digests, in declaration order.
+	Classes []ClassReport
+}
+
+// ScenarioReport is the digest of one scenario run: the base Report
+// (cluster-wide, per-node, per-shard — exactly what an equivalent flat run
+// produces) plus the phase × class × node segmentation.
+type ScenarioReport struct {
+	// Name echoes the scenario name.
+	Name string
+	Report
+	// Phases are the per-phase digests, in declaration order.
+	Phases []PhaseReport
+}
+
+// Render prints the scenario report in the repo's table style.
+func (r ScenarioReport) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "scenario %q: allocator=%s service=%s requests=%d (reads=%d writes=%d)\n",
+		r.Name, r.Allocator, r.Service, r.Requests, r.Reads, r.Writes)
+	fmt.Fprintf(&b, "%s\n%s\n", r.Cluster, r.Wait)
+	for _, p := range r.Phases {
+		fmt.Fprintf(&b, "phase %-12s [%v → %v] requests=%d\n  %s\n",
+			p.Name, p.Start, p.End, p.Requests, p.Latency)
+		for _, tc := range p.Classes {
+			fmt.Fprintf(&b, "  class %-10s reads=%-8d writes=%-8d %s\n",
+				tc.Name, tc.Reads, tc.Writes, tc.Latency)
+		}
+	}
+	b.WriteString("per node:\n")
+	for _, n := range r.PerNode {
+		fmt.Fprintf(&b, "  %s  shards=%-3d reclaims=%-6d swapouts=%-8d %s\n",
+			n.Name, n.Shards, n.Kernel.DirectReclaims, n.Kernel.PagesSwapOut, n.Latency)
+	}
+	return b.String()
+}
+
+// nodeEvent is one timeline entry resolved onto a node: the absolute
+// firing instant plus the declaration index for same-instant ordering.
+type nodeEvent struct {
+	at simtime.Time
+	ev workload.Event
+}
+
+// pcState accumulates one (phase, class) cell of the segmentation: a
+// recorder and read/write counters per node, so concurrent node goroutines
+// never share state.
+type pcState struct {
+	node   []*stats.Recorder
+	reads  []int64
+	writes []int64
+}
+
+// scenarioRun is one scenario run's working state: the base runState plus
+// the phase × class digests and each node's pending event queue.
+type scenarioRun struct {
+	st *runState
+	// pc is indexed by pcOff[phase]+class. It is nil for single-cell
+	// scenarios (one phase, one class — every flat Run): the lone cell's
+	// digests equal the base report's, so segmenting would only re-sort
+	// every raw sample a third time. finishScenario reuses the base
+	// digests instead, which is what keeps the adapter's overhead on the
+	// seed path near zero.
+	pc    []*pcState
+	pcOff []int
+	// events[n] is node n's timeline in firing order; cursor[n] is the
+	// next entry to fire.
+	events [][]nodeEvent
+	cursor []int
+}
+
+// validateScenario checks the scenario against this cluster: the scenario
+// must be well-formed on its own, and every event must target an existing
+// node and machinery the fleet actually has.
+func (c *Cluster) validateScenario(scn workload.Scenario) error {
+	if err := scn.Validate(); err != nil {
+		return err
+	}
+	for i, e := range scn.Events {
+		if e.Node >= len(c.nodes) {
+			return fmt.Errorf("cluster: scenario %q event %d (%s): targets node %d but the cluster has %d nodes",
+				scn.Name, i, e.Kind, e.Node, len(c.nodes))
+		}
+		if (e.Kind == workload.EventDaemonStart || e.Kind == workload.EventDaemonStop) &&
+			c.cfg.Allocator != AllocHermes {
+			return fmt.Errorf("cluster: scenario %q event %d (%s): the monitor daemon requires the hermes allocator (cluster runs %q)",
+				scn.Name, i, e.Kind, c.cfg.Allocator)
+		}
+	}
+	return nil
+}
+
+func (c *Cluster) newScenarioRun(scn workload.Scenario) *scenarioRun {
+	sr := &scenarioRun{
+		st:     c.newRunState(),
+		events: make([][]nodeEvent, len(c.nodes)),
+		cursor: make([]int, len(c.nodes)),
+	}
+	if len(scn.Phases) > 1 || len(scn.Phases[0].Classes) > 1 {
+		for _, p := range scn.Phases {
+			sr.pcOff = append(sr.pcOff, len(sr.pc))
+			for _, tc := range p.Classes {
+				pc := &pcState{
+					node:   make([]*stats.Recorder, len(c.nodes)),
+					reads:  make([]int64, len(c.nodes)),
+					writes: make([]int64, len(c.nodes)),
+				}
+				for ni := range c.nodes {
+					pc.node[ni] = c.newRecorder(p.Name + "/" + tc.Name)
+				}
+				sr.pc = append(sr.pc, pc)
+			}
+		}
+	}
+	for _, e := range scn.Events {
+		at := scn.Start.Add(e.At)
+		if e.Node >= 0 {
+			sr.events[e.Node] = append(sr.events[e.Node], nodeEvent{at: at, ev: e})
+			continue
+		}
+		for ni := range c.nodes {
+			sr.events[ni] = append(sr.events[ni], nodeEvent{at: at, ev: e})
+		}
+	}
+	for ni := range sr.events {
+		// Stable: same-instant events keep declaration order.
+		sort.SliceStable(sr.events[ni], func(i, j int) bool {
+			return sr.events[ni][i].at.Before(sr.events[ni][j].at)
+		})
+	}
+	return sr
+}
+
+// fireEventsUpTo fires the node's pending events with firing instants at or
+// before upTo, advancing the node's clock to each instant first. Events are
+// node-local, so each node's history — events interleaved with its request
+// stream — is identical on both engines.
+func (c *Cluster) fireEventsUpTo(sr *scenarioRun, n *Node, upTo simtime.Time) {
+	q := sr.events[n.Index]
+	for sr.cursor[n.Index] < len(q) {
+		ne := q[sr.cursor[n.Index]]
+		if ne.at.After(upTo) {
+			return
+		}
+		sr.cursor[n.Index]++
+		if ne.at.After(n.sched.Now()) {
+			n.sched.RunUntil(ne.at)
+		}
+		c.applyEvent(n, ne.ev)
+	}
+}
+
+// applyEvent applies one timeline action to a node at the node's current
+// virtual time.
+func (c *Cluster) applyEvent(n *Node, ev workload.Event) {
+	switch ev.Kind {
+	case workload.EventPressureStart:
+		c.stopPressure(n)
+		pcfg := workload.DefaultPressureConfig(workload.PressureAnon)
+		if ev.Pressure != nil {
+			pcfg = *ev.Pressure
+		}
+		c.startPressure(n, pcfg)
+	case workload.EventPressureStop:
+		c.stopPressure(n)
+	case workload.EventBatchStart:
+		c.stopBatchRunner(n)
+		bcfg := batch.DefaultConfig()
+		if ev.Batch != nil {
+			bcfg = *ev.Batch
+		}
+		if bcfg.TargetBytes == 0 {
+			// Default to full-memory pressure: the co-location regime.
+			bcfg.TargetBytes = n.kernel.TotalPages() * n.kernel.PageSize()
+		}
+		c.startBatchRunner(n, bcfg)
+		c.attachBatchRefresh(n)
+	case workload.EventBatchStop:
+		c.stopBatchRunner(n)
+	case workload.EventDaemonStart:
+		c.stopDaemon(n)
+		dcfg := monitor.DefaultConfig()
+		if ev.Daemon != nil {
+			dcfg = *ev.Daemon
+		}
+		c.startDaemon(n, dcfg)
+	case workload.EventDaemonStop:
+		c.stopDaemon(n)
+	case workload.EventSqueezeStart:
+		if n.squeeze == nil {
+			n.squeeze = n.kernel.CreateProcess("squeeze")
+		}
+		now := n.sched.Now()
+		// Round up so a sub-page squeeze still pins something rather than
+		// silently doing nothing.
+		pages := (ev.Bytes + n.kernel.PageSize() - 1) / n.kernel.PageSize()
+		r, _ := n.kernel.Mmap(now, n.squeeze, pages)
+		n.kernel.FaultIn(now, r, pages)
+	case workload.EventSqueezeStop:
+		if n.squeeze != nil {
+			n.kernel.ExitProcess(n.squeeze)
+			n.squeeze = nil
+		}
+	}
+}
+
+// pcIndex flattens a request's (phase, class) onto its segmentation cell,
+// or -1 for single-cell scenarios (whose base digests cover everything).
+func (sr *scenarioRun) pcIndex(req workload.ScenarioRequest) int32 {
+	if sr.pc == nil {
+		return -1
+	}
+	return int32(sr.pcOff[req.Phase] + req.Class)
+}
+
+// serveScenario fires the target node's due events, serves the request
+// through the shared serve path, and segments the recorded latency into the
+// request's (phase, class, node) cell.
+func (c *Cluster) serveScenario(sr *scenarioRun, shardID int, pcIdx int32, req workload.Request) {
+	n := c.shards[shardID].node
+	c.fireEventsUpTo(sr, n, req.At)
+	lat := c.serve(sr.st, shardID, req)
+	if pcIdx < 0 { // single-cell scenario: the base digests cover it
+		return
+	}
+	pc := sr.pc[pcIdx]
+	pc.node[n.Index].Record(lat)
+	if req.Op == workload.OpRead {
+		pc.reads[n.Index]++
+	} else {
+		pc.writes[n.Index]++
+	}
+}
+
+// RunScenario drives the fleet through the declarative scenario and returns
+// the phase- and class-segmented digests. Generation, routing, event firing
+// and every random draw are deterministic, so one (config, scenario) pair
+// reproduces the run exactly — on either engine (Config.Sequential selects
+// the single-goroutine one; the default partitions the stream per node).
+// The scenario is validated up front; nothing panics mid-run on a
+// malformed spec.
+func (c *Cluster) RunScenario(scn workload.Scenario) (ScenarioReport, error) {
+	if err := c.validateScenario(scn); err != nil {
+		return ScenarioReport{}, err
+	}
+	if c.cfg.Sequential || len(c.nodes) == 1 {
+		return c.runScenarioSequential(scn), nil
+	}
+	return c.runScenarioParallel(scn), nil
+}
+
+// generateScenario pulls the scenario's request stream, handing each
+// routed request to emit, and returns the generated phase bounds. Flat
+// lifted scenarios (every Cluster.Run) are detected and driven by the
+// plain LoadDriver — the identical stream without the merge layer, so the
+// adapter costs the seed path nothing. Both engines share this: only the
+// emit sink differs (serve now vs. partition for later).
+func (c *Cluster) generateScenario(scn workload.Scenario, sr *scenarioRun,
+	emit func(req workload.Request, shard, pc int32)) []workload.PhaseBound {
+	if flat, ok := scn.FlatLoad(); ok {
+		d := workload.NewLoadDriver(flat)
+		bound := workload.PhaseBound{Start: flat.Start, End: flat.Start}
+		for {
+			req, ok := d.Next()
+			if !ok {
+				break
+			}
+			emit(req, int32(c.router.ShardForKey(req.Key)), -1)
+			bound.End = req.At
+			bound.Requests++
+		}
+		return []workload.PhaseBound{bound}
+	}
+	d := workload.NewScenarioDriver(scn)
+	for {
+		req, ok := d.Next()
+		if !ok {
+			break
+		}
+		emit(req.Request, int32(c.router.ShardForKey(req.Key)), sr.pcIndex(req))
+	}
+	return d.Bounds()
+}
+
+// runScenarioSequential executes the scenario on one goroutine in global
+// arrival order, streaming the generation with O(1) workload memory.
+func (c *Cluster) runScenarioSequential(scn workload.Scenario) ScenarioReport {
+	sr := c.newScenarioRun(scn)
+	bounds := c.generateScenario(scn, sr, func(req workload.Request, shard, pc int32) {
+		c.serveScenario(sr, int(shard), pc, req)
+	})
+	return c.finishScenario(sr, scn, bounds)
+}
+
+// routedScenarioReq is one scenario request bound to its shard and its
+// segmentation cell, the unit of the per-node partition.
+type routedScenarioReq struct {
+	req   workload.Request
+	shard int32
+	pc    int32
+}
+
+// runScenarioParallel partitions the stream per node and executes each
+// node's sub-stream on its own goroutine, exactly like RunParallel; events
+// are node-local, so each goroutine fires its own node's timeline at the
+// same per-node points as the sequential engine and the report is
+// bit-identical.
+func (c *Cluster) runScenarioParallel(scn workload.Scenario) ScenarioReport {
+	perNode := make([][]routedScenarioReq, len(c.nodes))
+	var budget int64
+	for _, p := range scn.Phases {
+		if p.Requests <= 0 {
+			budget = 0 // a duration-bounded phase makes the total unknowable
+			break
+		}
+		budget += p.Requests
+	}
+	if budget > 0 {
+		// Pre-size assuming an even spread; skewed routings just append.
+		per := int(budget)/len(c.nodes) + len(c.nodes)
+		for i := range perNode {
+			perNode[i] = make([]routedScenarioReq, 0, per)
+		}
+	}
+	sr := c.newScenarioRun(scn)
+	bounds := c.generateScenario(scn, sr, func(req workload.Request, shard, pc int32) {
+		node := c.shards[shard].node.Index
+		perNode[node] = append(perNode[node], routedScenarioReq{req: req, shard: shard, pc: pc})
+	})
+
+	var wg sync.WaitGroup
+	for i := range c.nodes {
+		reqs := perNode[i]
+		if len(reqs) == 0 {
+			// Idle nodes still fire their timeline — during the drain in
+			// finishScenario, exactly as in the sequential engine.
+			continue
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, rr := range reqs {
+				c.serveScenario(sr, int(rr.shard), rr.pc, rr.req)
+			}
+		}()
+	}
+	wg.Wait()
+	return c.finishScenario(sr, scn, bounds)
+}
+
+// finishScenario drains every node's remaining timeline, runs each node to
+// the scenario's end, settles the fleet through the base finish, and
+// assembles the segmented report. The drain is node-local and runs in node
+// index order, so the report is a pure function of the per-node execution
+// results — the same argument that makes the two engines bit-identical.
+func (c *Cluster) finishScenario(sr *scenarioRun, scn workload.Scenario, bounds []workload.PhaseBound) ScenarioReport {
+	end := scn.Start
+	if len(bounds) > 0 {
+		end = bounds[len(bounds)-1].End
+	}
+	for _, q := range sr.events {
+		if len(q) > 0 {
+			if at := q[len(q)-1].at; at.After(end) {
+				end = at
+			}
+		}
+	}
+	for _, n := range c.nodes {
+		c.fireEventsUpTo(sr, n, simtime.MaxTime)
+		if end.After(n.sched.Now()) {
+			n.sched.RunUntil(end)
+		}
+	}
+
+	rep := ScenarioReport{Name: scn.Name, Report: c.finish(sr.st)}
+	if sr.pc == nil {
+		// Single-cell scenario: the lone phase × class cell is the whole
+		// run, so its digests are the base report's.
+		p := scn.Phases[0]
+		cr := ClassReport{
+			Name:     p.Classes[0].Name,
+			Requests: rep.Requests,
+			Reads:    rep.Reads,
+			Writes:   rep.Writes,
+			Latency:  rep.Cluster,
+		}
+		for _, nr := range rep.PerNode {
+			cr.PerNode = append(cr.PerNode, nr.Latency)
+		}
+		pr := PhaseReport{
+			Name:     p.Name,
+			Requests: rep.Requests,
+			Latency:  rep.Cluster,
+			Classes:  []ClassReport{cr},
+		}
+		if len(bounds) > 0 {
+			pr.Start = bounds[0].Start
+			pr.End = bounds[0].End
+		}
+		rep.Phases = []PhaseReport{pr}
+		return rep
+	}
+	for pi, p := range scn.Phases {
+		pr := PhaseReport{Name: p.Name}
+		if pi < len(bounds) {
+			pr.Start = bounds[pi].Start
+			pr.End = bounds[pi].End
+		}
+		phaseRec := c.newRecorder("phase/" + p.Name)
+		for ci, tc := range p.Classes {
+			pc := sr.pc[sr.pcOff[pi]+ci]
+			classRec := c.newRecorder(p.Name + "/" + tc.Name)
+			cr := ClassReport{Name: tc.Name}
+			for ni := range c.nodes {
+				classRec.Merge(pc.node[ni])
+				cr.PerNode = append(cr.PerNode, pc.node[ni].Summarize())
+				cr.Reads += pc.reads[ni]
+				cr.Writes += pc.writes[ni]
+			}
+			cr.Requests = cr.Reads + cr.Writes
+			cr.Latency = classRec.Summarize()
+			pr.Requests += cr.Requests
+			phaseRec.Merge(classRec)
+			pr.Classes = append(pr.Classes, cr)
+		}
+		pr.Latency = phaseRec.Summarize()
+		rep.Phases = append(rep.Phases, pr)
+	}
+	return rep
+}

@@ -1,0 +1,106 @@
+package cluster
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/hermes-sim/hermes/internal/workload"
+)
+
+// TestParseScenarioSpec covers the two accepted document shapes and the
+// override layering.
+func TestParseScenarioSpec(t *testing.T) {
+	wrapped := []byte(`{
+		"cluster": { "nodes": 2, "shards": 4, "service": "rocksdb", "mem_gb": 2 },
+		"scenario": {
+			"name": "spec",
+			"phases": [
+				{ "name": "p", "requests": 100,
+				  "classes": [ { "name": "c", "rate": 1000, "keys": 100, "reads": 0.5, "value_bytes": 64 } ] }
+			]
+		}
+	}`)
+	spec, err := ParseScenarioSpec(wrapped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Scenario.Name != "spec" || spec.Overrides == nil || spec.Overrides.Nodes != 2 {
+		t.Fatalf("wrapped spec parsed wrong: %+v", spec)
+	}
+	cfg, err := spec.Overrides.Apply(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Nodes != 2 || cfg.Shards != 4 || cfg.Service() != ServiceRocksdb || cfg.Kernel.TotalMemory != 2<<30 {
+		t.Fatalf("overrides did not apply: %+v", cfg)
+	}
+	if cfg.Allocator != DefaultConfig().Allocator {
+		t.Fatal("unset override changed the allocator")
+	}
+
+	bare := []byte(`{
+		"name": "bare", "seed": 3,
+		"phases": [
+			{ "name": "p", "duration": "100ms",
+			  "classes": [ { "name": "c", "rate": 1000, "keys": 100, "reads": 1, "value_bytes": 64 } ] }
+		]
+	}`)
+	spec, err = ParseScenarioSpec(bare)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Scenario.Name != "bare" || spec.Scenario.Seed != 3 || spec.Overrides != nil {
+		t.Fatalf("bare spec parsed wrong: %+v", spec)
+	}
+
+	if _, err := ParseScenarioSpec([]byte(`{"scenario": {"name": "x", "phases": []}}`)); err == nil ||
+		!strings.Contains(err.Error(), "at least one phase") {
+		t.Errorf("invalid scenario accepted: %v", err)
+	}
+	if _, err := ParseScenarioSpec([]byte(`not json`)); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+// TestCommittedPresetsParse keeps every committed preset loadable and
+// well-formed: parse, validate, apply overrides, and generate a scaled-down
+// slice of each stream.
+func TestCommittedPresetsParse(t *testing.T) {
+	files, err := filepath.Glob("../../examples/scenarios/*.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 3 {
+		t.Fatalf("expected >= 3 committed presets, found %d", len(files))
+	}
+	for _, f := range files {
+		f := f
+		t.Run(filepath.Base(f), func(t *testing.T) {
+			data, err := os.ReadFile(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			spec, err := ParseScenarioSpec(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := spec.Overrides.Apply(DefaultConfig()); err != nil {
+				t.Fatal(err)
+			}
+			tiny := spec.Scenario.Scaled(0.001)
+			d := workload.NewScenarioDriver(tiny)
+			n := 0
+			for {
+				if _, ok := d.Next(); !ok {
+					break
+				}
+				n++
+			}
+			if n == 0 {
+				t.Error("scaled preset generated no requests")
+			}
+		})
+	}
+}

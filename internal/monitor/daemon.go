@@ -1,6 +1,7 @@
 package monitor
 
 import (
+	"fmt"
 	"sort"
 
 	"github.com/hermes-sim/hermes/internal/kernel"
@@ -28,6 +29,18 @@ func DefaultConfig() Config {
 	}
 }
 
+// Validate reports whether the configuration is well-formed, naming the
+// offending field so config loaders can surface the message verbatim.
+func (c Config) Validate() error {
+	if c.Period <= 0 {
+		return fmt.Errorf("monitor: Period must be > 0 (got %v)", c.Period)
+	}
+	if c.AdvThreshold <= 0 || c.AdvThreshold > 1 {
+		return fmt.Errorf("monitor: AdvThreshold must be in (0, 1] (got %v)", c.AdvThreshold)
+	}
+	return nil
+}
+
 // Stats counts daemon activity for the overhead experiment (§5.5).
 type Stats struct {
 	Scans         int64
@@ -46,8 +59,8 @@ type Daemon struct {
 
 // NewDaemon starts the daemon on the node's scheduler. Stop releases it.
 func NewDaemon(k *kernel.Kernel, registry *Registry, cfg Config) *Daemon {
-	if cfg.Period <= 0 || cfg.AdvThreshold <= 0 || cfg.AdvThreshold > 1 {
-		panic("monitor: invalid daemon config")
+	if err := cfg.Validate(); err != nil {
+		panic(err)
 	}
 	d := &Daemon{k: k, cfg: cfg, registry: registry}
 	d.task = simtime.NewPeriodicTask(k.Scheduler(), cfg.Period, d.tick)

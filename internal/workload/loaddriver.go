@@ -132,10 +132,21 @@ func DefaultLoadConfig() LoadConfig {
 	}
 }
 
-// Validate reports whether the configuration is well-formed.
+// Validate reports whether the configuration is well-formed. Every
+// violation names the offending field and the accepted range, so a CLI or
+// scenario loader can surface the message verbatim.
 func (c LoadConfig) Validate() error {
-	if c.Requests <= 0 || c.RatePerSec <= 0 || c.Keys <= 0 || c.ValueBytes <= 0 {
-		return fmt.Errorf("workload: bad load config %+v", c)
+	if c.Requests <= 0 {
+		return fmt.Errorf("workload: Requests must be > 0 (got %d)", c.Requests)
+	}
+	if c.RatePerSec <= 0 {
+		return fmt.Errorf("workload: RatePerSec must be > 0 (got %v)", c.RatePerSec)
+	}
+	if c.Keys <= 0 {
+		return fmt.Errorf("workload: Keys must be > 0 (got %d)", c.Keys)
+	}
+	if c.ValueBytes <= 0 {
+		return fmt.Errorf("workload: ValueBytes must be > 0 (got %d)", c.ValueBytes)
 	}
 	if c.ZipfS != 0 && c.ZipfS <= 1 {
 		return fmt.Errorf("workload: Zipf exponent must be > 1 (got %v); use 0 for uniform", c.ZipfS)
@@ -176,6 +187,12 @@ type LoadDriver struct {
 	// Legacy escape hatch: stdlib machinery, nil unless selected.
 	legacy *legacyGen
 
+	// shape, when non-nil, modulates the instantaneous arrival rate: the
+	// mean rate at virtual instant t is RatePerSec·shape(t). Only the
+	// scenario driver sets it; a nil shape keeps the gap arithmetic
+	// bit-identical to the constant-rate path.
+	shape func(simtime.Time) float64
+
 	next    simtime.Time
 	emitted int64
 }
@@ -190,19 +207,36 @@ type legacyGen struct {
 // NewLoadDriver validates the config and positions the stream at its first
 // arrival.
 func NewLoadDriver(cfg LoadConfig) *LoadDriver {
+	return newLoadDriverStream(cfg, streamLoadDriver)
+}
+
+// newLoadDriverStream builds a driver whose draws come from stream id under
+// cfg.Seed. NewLoadDriver uses the canonical streamLoadDriver id; the
+// scenario driver hands every traffic class its own id so coexisting
+// classes never share a sequence. A class on the canonical id is
+// bit-identical to a plain LoadDriver — the property Cluster.Run's
+// single-phase adapter rests on.
+func newLoadDriverStream(cfg LoadConfig, id uint64) *LoadDriver {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
 	d := &LoadDriver{cfg: cfg, next: cfg.Start}
 	if cfg.GeneratorKind() == GenLegacy {
-		rng := randv2.New(randv2.NewPCG(cfg.Seed, cfg.Seed^0x9e3779b97f4a7c15))
+		// The legacy generator has no stream ids: the canonical stream
+		// seeds the PCG directly (the pre-scenario sequence, unchanged);
+		// any other id derives a sub-seed so classes stay independent.
+		seed := cfg.Seed
+		if id != streamLoadDriver {
+			seed = randgen.SplitSeed(cfg.Seed, id)
+		}
+		rng := randv2.New(randv2.NewPCG(seed, seed^0x9e3779b97f4a7c15))
 		d.legacy = &legacyGen{rng: rng}
 		if cfg.ZipfS > 0 {
 			d.legacy.zipf = randv2.NewZipf(rng, cfg.ZipfS, 1, uint64(cfg.Keys-1))
 		}
 		return d
 	}
-	d.rng = randgen.Split(cfg.Seed, streamLoadDriver)
+	d.rng = randgen.Split(cfg.Seed, id)
 	if cfg.ZipfS > 0 {
 		d.zipf = randgen.NewZipf(d.rng, cfg.ZipfS, 1, uint64(cfg.Keys-1))
 	}
@@ -242,6 +276,13 @@ func (d *LoadDriver) Next() (req Request, ok bool) {
 	}
 	d.emitted++
 	gap /= d.cfg.RatePerSec // seconds of virtual time
+	if d.shape != nil {
+		// Time-varying rate: the gap out of instant t is scaled by the
+		// instantaneous shape factor at t (an Euler-style non-homogeneous
+		// Poisson — exact for piecewise-constant shapes, and deterministic
+		// because the factor is a pure function of the arrival instant).
+		gap /= d.shape(d.next)
+	}
 	d.next = d.next.Add(simtime.Duration(gap * float64(simtime.Second)))
 	return req, true
 }

@@ -60,6 +60,24 @@ func DefaultPressureConfig(kind PressureKind) PressureConfig {
 	}
 }
 
+// Validate reports whether the configuration is well-formed, naming the
+// offending field so config loaders can surface the message verbatim.
+func (cfg PressureConfig) Validate() error {
+	if cfg.Kind != PressureAnon && cfg.Kind != PressureFile {
+		return fmt.Errorf("workload: pressure Kind must be PressureAnon or PressureFile (got %v)", cfg.Kind)
+	}
+	if cfg.FreeBytes <= 0 {
+		return fmt.Errorf("workload: pressure FreeBytes must be > 0 (got %d)", cfg.FreeBytes)
+	}
+	if cfg.Period <= 0 {
+		return fmt.Errorf("workload: pressure Period must be > 0 (got %v)", cfg.Period)
+	}
+	if cfg.Kind == PressureFile && cfg.FileBytes <= 0 {
+		return fmt.Errorf("workload: file pressure FileBytes must be > 0 (got %d)", cfg.FileBytes)
+	}
+	return nil
+}
+
 // Pressure is a running pressure generator: a simulated co-tenant process
 // (plus files for the file variant) that consumes memory down to the
 // watermark region and keeps it there, re-consuming whatever reclaim frees.
@@ -87,11 +105,8 @@ func (p *Pressure) PID() kernel.PID { return p.proc.PID }
 // and then maintains the level each period. Stop releases the generator's
 // process.
 func StartPressure(k *kernel.Kernel, cfg PressureConfig) *Pressure {
-	if cfg.Kind != PressureAnon && cfg.Kind != PressureFile {
-		panic(fmt.Sprintf("workload: bad pressure kind %v", cfg.Kind))
-	}
-	if cfg.FreeBytes <= 0 || cfg.Period <= 0 {
-		panic(fmt.Sprintf("workload: bad pressure config %+v", cfg))
+	if err := cfg.Validate(); err != nil {
+		panic(err)
 	}
 	p := &Pressure{
 		k:    k,
