@@ -6,7 +6,8 @@
 //
 // Usage:
 //
-//	hermes-cluster [-nodes 8] [-shards 16] [-allocators glibc,hermes]
+//	hermes-cluster [-nodes 8] [-shards 16] [-shard-replicas 2]
+//	               [-allocators glibc,hermes]
 //	               [-service redis|rocksdb] [-requests 1000000] [-rate 50000]
 //	               [-keys 100000] [-zipf 1.1] [-reads 0.5] [-value 1024]
 //	               [-pressure none|anon|file] [-free-mb 300] [-mem-gb 8]
@@ -58,6 +59,7 @@ func run() error {
 	nodes := flag.Int("nodes", 8, "node count")
 	shards := flag.Int("shards", 16, "service-shard count")
 	replicas := flag.Int("replicas", 64, "virtual nodes per machine on the hash ring")
+	shardReplicas := flag.Int("shard-replicas", 0, "replicas per shard for kill-node failover (0 or 1 = unreplicated)")
 	allocators := flag.String("allocators", "glibc,hermes", "comma-separated allocator kinds: glibc,jemalloc,tcmalloc,hermes")
 	service := flag.String("service", "redis", "service kind: redis or rocksdb")
 	requests := flag.Int64("requests", 1_000_000, "total requests")
@@ -97,6 +99,7 @@ func run() error {
 	cfg.Nodes = *nodes
 	cfg.Shards = *shards
 	cfg.Replicas = *replicas
+	cfg.ShardReplicas = *shardReplicas
 	cfg.ServiceKind = hermes.ServiceKind(*service)
 	cfg.Kernel.TotalMemory = *memGB << 30
 	cfg.Kernel.SwapBytes = *memGB << 30
@@ -248,8 +251,8 @@ func runScenarioFile(cfg hermes.ClusterConfig, kinds []hermes.AllocatorKind, opt
 	}
 
 	if !opts.json {
-		fmt.Printf("hermes-cluster scenario %q (%s, scale %g): nodes=%d shards=%d service=%s stats=%s seed=%d\n",
-			scn.Name, opts.path, opts.scale, cfg.Nodes, cfg.Shards, cfg.Service(), cfg.StatsBackend(), scn.Seed)
+		fmt.Printf("hermes-cluster scenario %q (%s, scale %g): nodes=%d shards=%d shard-replicas=%d service=%s stats=%s seed=%d\n",
+			scn.Name, opts.path, opts.scale, cfg.Nodes, cfg.Shards, cfg.ShardReplicas, cfg.Service(), cfg.StatsBackend(), scn.Seed)
 		fmt.Printf("phases=%d events=%d horizon=%v\n\n", len(scn.Phases), len(scn.Events), scn.End())
 	}
 

@@ -24,7 +24,8 @@
 // drives them with a declarative Scenario — ordered phases of traffic
 // classes (each with its own key space, skew, mix and value sizes) under
 // ramp/spike/diurnal rate shaping, plus a virtual-time event timeline
-// (pressure storms, batch churn, daemon toggles, memory squeezes) —
+// (pressure storms, batch churn, daemon toggles, memory squeezes, node
+// kills and restores with replica failover and live shard migration) —
 // producing phase-, class-, shard- and node-segmented latency digests.
 // Cluster.Run is the single-phase shorthand for a flat LoadConfig. All of
 // it is deterministic: one seed reproduces a whole cluster run. See
@@ -147,11 +148,18 @@ type (
 	RateShape = workload.RateShape
 	// ShapeKind names a rate-shape curve.
 	ShapeKind = workload.ShapeKind
-	// ScenarioEvent is one timeline entry (pressure, batch churn, daemon
-	// or memory-squeeze transitions at a virtual instant).
+	// ScenarioEvent is one timeline entry (pressure, batch churn, daemon,
+	// memory-squeeze or node kill/restore transitions at a virtual
+	// instant).
 	ScenarioEvent = workload.Event
 	// ScenarioEventKind names a timeline action.
 	ScenarioEventKind = workload.EventKind
+	// KillPolicy selects what a killed node does with its queued backlog
+	// (drain it or drop it).
+	KillPolicy = workload.KillPolicy
+	// MigrationRecord is one record of a shard-migration batch — the unit
+	// Service.ImportRecords ingests and Service.ExportRecords emits.
+	MigrationRecord = services.ImportEntry
 	// ScenarioDriver generates a scenario's merged request stream.
 	ScenarioDriver = workload.ScenarioDriver
 	// ScenarioRequest is one generated request annotated with its phase
@@ -218,6 +226,14 @@ const (
 	EventDaemonStop    = workload.EventDaemonStop
 	EventSqueezeStart  = workload.EventSqueezeStart
 	EventSqueezeStop   = workload.EventSqueezeStop
+	EventKillNode      = workload.EventKillNode
+	EventRestoreNode   = workload.EventRestoreNode
+)
+
+// Backlog policies for kill-node events.
+const (
+	KillDrain = workload.KillDrain
+	KillDrop  = workload.KillDrop
 )
 
 // DefaultHermesConfig returns the paper's Hermes settings (§4): 2 ms

@@ -68,6 +68,13 @@ type Config struct {
 	Shards int
 	// Replicas is the virtual-node count per machine on the hash ring.
 	Replicas int
+	// ShardReplicas is the shard replication factor: every shard gets a
+	// full service instance on the first ShardReplicas distinct nodes of
+	// its ring walk, and requests fail over down the chain when a
+	// kill-node event takes the primary out of rotation. 0 or 1 means
+	// unreplicated (the chain is just the primary); the factor cannot
+	// exceed Nodes.
+	ShardReplicas int
 	// Kernel configures every node's memory subsystem (per-node seeds are
 	// derived from Seed, overriding Kernel.Seed).
 	Kernel kernel.Config
@@ -123,6 +130,12 @@ func (c Config) Validate() error {
 	if c.Nodes <= 0 || c.Shards <= 0 || c.Replicas <= 0 {
 		return fmt.Errorf("cluster: bad geometry: nodes=%d shards=%d replicas=%d", c.Nodes, c.Shards, c.Replicas)
 	}
+	if c.ShardReplicas < 0 {
+		return fmt.Errorf("cluster: ShardReplicas must be >= 0 (got %d; 0 or 1 means unreplicated)", c.ShardReplicas)
+	}
+	if c.ShardReplicas > c.Nodes {
+		return fmt.Errorf("cluster: ShardReplicas %d exceeds the %d-node fleet (a chain needs distinct nodes)", c.ShardReplicas, c.Nodes)
+	}
 	switch c.Allocator {
 	case AllocGlibc, AllocJemalloc, AllocTCMalloc, AllocHermes:
 	default:
@@ -173,8 +186,9 @@ func (c *Cluster) newRecorder(name string) *stats.Recorder {
 	return stats.NewRecorder(name)
 }
 
-// Shard is one service shard: a Service plus its allocator, pinned to a
-// node, with its own latency digest.
+// Shard is one service shard: a Service plus its allocator on each node of
+// its replica chain (just the primary when the cluster is unreplicated),
+// with its own latency digest.
 type Shard struct {
 	// ID is the shard index in [0, Config.Shards).
 	ID int
@@ -183,16 +197,35 @@ type Shard struct {
 	svc  services.Service
 	rec  *stats.Recorder
 
+	// instances holds the shard's placements down the replica chain;
+	// instances[0] is the primary (node, svc above). Failover serves on
+	// the first instance whose node is in rotation.
+	instances []shardInstance
+
 	requests int64
 	reads    int64
 	writes   int64
 }
 
-// Node returns the machine hosting the shard.
+// shardInstance is one placement of a shard: a full service instance on
+// one node of the shard's replica chain.
+type shardInstance struct {
+	node *Node
+	svc  services.Service
+}
+
+// Node returns the machine hosting the shard's primary.
 func (s *Shard) Node() *Node { return s.node }
 
-// Service returns the shard's service instance.
+// Service returns the shard's primary service instance.
 func (s *Shard) Service() services.Service { return s.svc }
+
+// Replica returns the shard's service instance at chain position i (0 is
+// the primary).
+func (s *Shard) Replica(i int) services.Service { return s.instances[i].svc }
+
+// ReplicaCount returns the length of the shard's replica chain.
+func (s *Shard) ReplicaCount() int { return len(s.instances) }
 
 // Recorder returns the shard's latency digest (accumulated across runs).
 func (s *Shard) Recorder() *stats.Recorder { return s.rec }
@@ -248,6 +281,9 @@ type Cluster struct {
 	router *ShardRouter
 	nodes  []*Node
 	shards []*Shard
+	// chains[s] is shard s's replica chain (node indices, primary first),
+	// precomputed so failover routing never rebuilds it per request.
+	chains [][]int
 }
 
 // New boots the fleet: N nodes (each with a derived kernel seed), the shard
@@ -281,21 +317,27 @@ func New(cfg Config) *Cluster {
 	}
 	c.router = NewShardRouter(names, cfg.Shards, cfg.Replicas)
 
+	chainLen := cfg.ShardReplicas
+	if chainLen < 1 {
+		chainLen = 1
+	}
+	c.chains = make([][]int, cfg.Shards)
 	for id := 0; id < cfg.Shards; id++ {
-		n := c.nodes[c.router.NodeForShard(id)]
+		c.chains[id] = c.router.ReplicaChain(id, chainLen)
+		n := c.nodes[c.chains[id][0]]
 		name := fmt.Sprintf("shard-%02d", id)
-		a := c.newAllocator(n, name)
-		var svc services.Service
-		switch cfg.Service() {
-		case ServiceRedis:
-			svc = services.NewRedis(n.kernel, a, services.RedisCosts())
-		case ServiceRocksdb:
-			svc = services.NewRocksdb(n.kernel, a, services.RocksdbCosts(),
-				services.DefaultRocksdbConfig(), name)
-		}
+		svc := c.newShardService(n, name)
 		sh := &Shard{ID: id, node: n, svc: svc, rec: c.newRecorder(name)}
+		sh.instances = append(sh.instances, shardInstance{node: n, svc: svc})
+		// Replica instances boot right after their primary, in chain
+		// order — shard-major creation keeps every node's process/file
+		// birth sequence (and thus seed replay) deterministic.
+		for ci, node := range c.chains[id][1:] {
+			rn := c.nodes[node]
+			rsvc := c.newShardService(rn, fmt.Sprintf("%s-r%d", name, ci+1))
+			sh.instances = append(sh.instances, shardInstance{node: rn, svc: rsvc})
+		}
 		n.shards = append(n.shards, sh)
-		n.closers = append(n.closers, svc.Close, a.Close)
 		c.shards = append(c.shards, sh)
 	}
 
@@ -438,6 +480,22 @@ func (c Config) Service() ServiceKind {
 	return c.ServiceKind
 }
 
+// newShardService boots one service instance (and its allocator) for a
+// shard placement on node n, registering both with the node's closers.
+func (c *Cluster) newShardService(n *Node, name string) services.Service {
+	a := c.newAllocator(n, name)
+	var svc services.Service
+	switch c.cfg.Service() {
+	case ServiceRedis:
+		svc = services.NewRedis(n.kernel, a, services.RedisCosts())
+	case ServiceRocksdb:
+		svc = services.NewRocksdb(n.kernel, a, services.RocksdbCosts(),
+			services.DefaultRocksdbConfig(), name)
+	}
+	n.closers = append(n.closers, svc.Close, a.Close)
+	return svc
+}
+
 func (c *Cluster) newAllocator(n *Node, name string) alloc.Allocator {
 	switch c.cfg.Allocator {
 	case AllocJemalloc:
@@ -492,6 +550,16 @@ type NodeReport struct {
 	Shards  int
 	Latency stats.Summary
 	Kernel  kernel.Stats
+	// Topology dynamics (all zero on runs without kill/restore events).
+	// Downtime is the node's total time out of rotation; Failovers counts
+	// requests this node served in place of a down primary; Dropped
+	// counts requests bound for this node that were discarded (no live
+	// replica, or a kill-node drop policy severing the backlog);
+	// MigratedBytes is what restores re-filled into this node's shards.
+	Downtime      simtime.Duration
+	Failovers     int64
+	Dropped       int64
+	MigratedBytes int64
 }
 
 // Report is the digest of one cluster run.
@@ -509,6 +577,13 @@ type Report struct {
 	// Wait is the cluster-wide queueing-delay digest: the open-loop
 	// symptom of an overloaded or pressure-stalled node.
 	Wait stats.Summary
+	// Failovers, Dropped and MigratedBytes are the cluster-wide topology
+	// dynamics totals (the sums of the per-node columns; zero on runs
+	// without kill/restore events). Dropped requests are generated but
+	// never served, so they are excluded from Requests.
+	Failovers     int64
+	Dropped       int64
+	MigratedBytes int64
 	// PerNode and PerShard are the sliced digests.
 	PerNode  []NodeReport
 	PerShard []stats.Summary
@@ -521,10 +596,18 @@ func (r Report) Render() string {
 		r.Allocator, r.Service, r.Requests, r.Reads, r.Writes)
 	fmt.Fprintf(&b, "%s\n", r.Cluster)
 	fmt.Fprintf(&b, "%s\n", r.Wait)
+	if r.Failovers > 0 || r.Dropped > 0 || r.MigratedBytes > 0 {
+		fmt.Fprintf(&b, "topology: failovers=%d dropped=%d migrated=%s\n",
+			r.Failovers, r.Dropped, fmtBytes(r.MigratedBytes))
+	}
 	b.WriteString("per node:\n")
 	for _, n := range r.PerNode {
 		fmt.Fprintf(&b, "  %s  shards=%-3d reclaims=%-6d swapouts=%-8d %s\n",
 			n.Name, n.Shards, n.Kernel.DirectReclaims, n.Kernel.PagesSwapOut, n.Latency)
+		if n.Downtime > 0 || n.Failovers > 0 || n.Dropped > 0 || n.MigratedBytes > 0 {
+			fmt.Fprintf(&b, "    topology: downtime=%v failovers=%d dropped=%d migrated=%s\n",
+				n.Downtime, n.Failovers, n.Dropped, fmtBytes(n.MigratedBytes))
+		}
 	}
 	b.WriteString("per shard:\n")
 	for _, s := range r.PerShard {
@@ -533,25 +616,48 @@ func (r Report) Render() string {
 	return b.String()
 }
 
-// runState holds one run's run-local digests: one latency recorder per
-// shard and one queue-wait recorder plus read/write counters per node.
-// Everything a request records lands in state owned by its node, so the
-// per-node slices can be filled by concurrent goroutines without sharing.
+// fmtBytes renders a byte count at MiB/KiB/B granularity for report tables.
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}
+
+// runState holds one run's run-local digests: one latency recorder and
+// read/write counter pair per shard INSTANCE, and one queue-wait recorder
+// plus read/write counters per node. Everything a request records lands in
+// state owned by its serving node — with failover the instances of one
+// shard live on different nodes, so shard-level digests are only assembled
+// at finish — which lets concurrent node goroutines fill the slices
+// without sharing.
 type runState struct {
-	shard         []*stats.Recorder // indexed by shard ID
-	wait          []*stats.Recorder // indexed by node index
-	reads, writes []int64           // indexed by node index
+	shard                   [][]*stats.Recorder // indexed by shard ID, chain position
+	shardReads, shardWrites [][]int64           // indexed by shard ID, chain position
+	wait                    []*stats.Recorder   // indexed by node index
+	reads, writes           []int64             // indexed by node index
 }
 
 func (c *Cluster) newRunState() *runState {
 	st := &runState{
-		shard:  make([]*stats.Recorder, len(c.shards)),
-		wait:   make([]*stats.Recorder, len(c.nodes)),
-		reads:  make([]int64, len(c.nodes)),
-		writes: make([]int64, len(c.nodes)),
+		shard:       make([][]*stats.Recorder, len(c.shards)),
+		shardReads:  make([][]int64, len(c.shards)),
+		shardWrites: make([][]int64, len(c.shards)),
+		wait:        make([]*stats.Recorder, len(c.nodes)),
+		reads:       make([]int64, len(c.nodes)),
+		writes:      make([]int64, len(c.nodes)),
 	}
 	for i, sh := range c.shards {
-		st.shard[i] = c.newRecorder(sh.rec.Name())
+		st.shard[i] = make([]*stats.Recorder, len(sh.instances))
+		for inst := range sh.instances {
+			st.shard[i][inst] = c.newRecorder(sh.rec.Name())
+		}
+		st.shardReads[i] = make([]int64, len(sh.instances))
+		st.shardWrites[i] = make([]int64, len(sh.instances))
 	}
 	for i, n := range c.nodes {
 		st.wait[i] = c.newRecorder(n.Name + "/wait")
@@ -568,8 +674,17 @@ func (c *Cluster) newRunState() *runState {
 // returned latency is what was recorded, so callers can segment it into
 // additional digests.
 func (c *Cluster) serve(st *runState, shardID int, req workload.Request) simtime.Duration {
+	return c.serveOn(st, shardID, 0, req)
+}
+
+// serveOn is serve on a specific replica-chain instance: 0 is the primary
+// (every request without topology events), >0 a failover target whose node
+// stands in for a down primary. The request's full cost lands on the
+// serving node's clock and digests.
+func (c *Cluster) serveOn(st *runState, shardID, inst int, req workload.Request) simtime.Duration {
 	sh := c.shards[shardID]
-	n := sh.node
+	in := sh.instances[inst]
+	n := in.node
 	if req.At.After(n.sched.Now()) {
 		// Idle until the arrival: run background machinery up to it.
 		n.sched.RunUntil(req.At)
@@ -579,21 +694,22 @@ func (c *Cluster) serve(st *runState, shardID int, req workload.Request) simtime
 	preMapped := false
 	switch req.Op {
 	case workload.OpWrite:
-		raw = sh.svc.Insert(req.Key, req.ValueBytes)
-		preMapped = sh.svc.LastPreMapped()
-		sh.writes++
+		raw = in.svc.Insert(req.Key, req.ValueBytes)
+		preMapped = in.svc.LastPreMapped()
+		st.shardWrites[shardID][inst]++
 		st.writes[n.Index]++
 	case workload.OpRead:
-		raw = sh.svc.Read(req.Key)
-		sh.reads++
+		raw = in.svc.Read(req.Key)
+		st.shardReads[shardID][inst]++
 		st.reads[n.Index]++
 	}
 	// The server occupies the node for the raw service time; the client
-	// observes queueing plus the jittered service time.
+	// observes queueing plus the jittered service time. The shard's
+	// cumulative counters fold in at finish — with failover another node's
+	// goroutine may be serving a different instance of this shard right now.
 	lat := wait + workload.JitterRequest(n.kernel, raw, preMapped)
 	n.sched.Advance(raw)
-	sh.requests++
-	st.shard[shardID].Record(lat)
+	st.shard[shardID][inst].Record(lat)
 	st.wait[n.Index].Record(wait)
 	return lat
 }
@@ -617,14 +733,36 @@ func (c *Cluster) finish(st *runState) Report {
 		n.sched.RunUntil(horizon)
 	}
 
+	// Fold the per-instance run counters into the shards' cumulative
+	// counters (single-threaded here; the hot path never touches them) and
+	// assemble each shard's digest from its instances in chain order.
+	shardRecs := make([]*stats.Recorder, len(c.shards))
+	for id, sh := range c.shards {
+		rec := c.newRecorder(sh.rec.Name())
+		for inst := range sh.instances {
+			rec.Merge(st.shard[id][inst])
+			sh.reads += st.shardReads[id][inst]
+			sh.writes += st.shardWrites[id][inst]
+			sh.requests += st.shardReads[id][inst] + st.shardWrites[id][inst]
+		}
+		shardRecs[id] = rec
+		sh.rec.Merge(rec)
+	}
+
 	report := Report{Allocator: c.cfg.Allocator, Service: c.cfg.Service(), Stats: c.cfg.StatsBackend()}
 	clusterRec := c.newRecorder("cluster")
 	waitRec := c.newRecorder("queue-wait")
 	for i, n := range c.nodes {
+		// A node's digest covers what it actually served: the shard
+		// instances it hosts, primaries and failover replicas alike, in
+		// (shard, chain-position) order.
 		runNode := c.newRecorder(n.Name)
-		for _, sh := range n.shards {
-			runNode.Merge(st.shard[sh.ID])
-			sh.rec.Merge(st.shard[sh.ID])
+		for _, sh := range c.shards {
+			for inst := range sh.instances {
+				if sh.instances[inst].node == n {
+					runNode.Merge(st.shard[sh.ID][inst])
+				}
+			}
 		}
 		n.rec.Merge(runNode)
 		clusterRec.Merge(runNode)
@@ -642,7 +780,7 @@ func (c *Cluster) finish(st *runState) Report {
 	report.Cluster = clusterRec.Summarize()
 	report.Wait = waitRec.Summarize()
 	for i := range c.shards {
-		report.PerShard = append(report.PerShard, st.shard[i].Summarize())
+		report.PerShard = append(report.PerShard, shardRecs[i].Summarize())
 	}
 	return report
 }

@@ -33,6 +33,12 @@ func churnScenario() (Config, workload.LoadConfig) {
 
 	load := workload.DefaultLoadConfig()
 	load.Requests = 30_000
+	if testing.Short() {
+		// The race-detector CI job runs -short: a third of the stream
+		// still overflows memtables and churns batch exits, at a wall
+		// clock the ~10x race overhead can afford.
+		load.Requests = 10_000
+	}
 	load.RatePerSec = 100_000
 	load.Keys = 2_000
 	// 64 KB values overflow the 64 MB memtables after ~1k writes per

@@ -20,8 +20,10 @@ import (
 // never changes.
 type ShardRouter struct {
 	shards int
+	nodes  int
 	ring   []ringEntry
 	assign []int // shard index → node index, precomputed from the ring
+	slot   []int // shard index → ring index of its successor entry
 }
 
 type ringEntry struct {
@@ -38,7 +40,7 @@ func NewShardRouter(nodeNames []string, shards, replicas int) *ShardRouter {
 		panic(fmt.Sprintf("cluster: bad router geometry: nodes=%d shards=%d replicas=%d",
 			len(nodeNames), shards, replicas))
 	}
-	r := &ShardRouter{shards: shards}
+	r := &ShardRouter{shards: shards, nodes: len(nodeNames)}
 	for i, name := range nodeNames {
 		for v := 0; v < replicas; v++ {
 			r.ring = append(r.ring, ringEntry{hashString(fmt.Sprintf("%s#%d", name, v)), i})
@@ -51,20 +53,46 @@ func NewShardRouter(nodeNames []string, shards, replicas int) *ShardRouter {
 		return r.ring[i].node < r.ring[j].node
 	})
 	r.assign = make([]int, shards)
+	r.slot = make([]int, shards)
 	for s := 0; s < shards; s++ {
-		r.assign[s] = r.successor(hashString(fmt.Sprintf("shard-%d", s)))
+		r.slot[s] = r.successor(hashString(fmt.Sprintf("shard-%d", s)))
+		r.assign[s] = r.ring[r.slot[s]].node
 	}
 	return r
 }
 
-// successor returns the node owning the first ring point at or after h,
+// successor returns the index of the first ring entry at or after h,
 // wrapping around the ring.
 func (r *ShardRouter) successor(h uint64) int {
 	i := sort.Search(len(r.ring), func(i int) bool { return r.ring[i].hash >= h })
 	if i == len(r.ring) {
 		i = 0
 	}
-	return r.ring[i].node
+	return i
+}
+
+// ReplicaChain returns the shard's n-node replica chain: the primary (the
+// shard's ring successor) followed by the next n-1 distinct nodes walking
+// the ring clockwise — consistent hashing's standard replica set. The chain
+// depends only on the ring, so it is deterministic, and a node leaving the
+// rotation fails each of its shards over to the chain's next live entry
+// without moving any other shard.
+func (r *ShardRouter) ReplicaChain(shard, n int) []int {
+	if shard < 0 || shard >= r.shards {
+		panic(fmt.Sprintf("cluster: shard %d outside [0,%d)", shard, r.shards))
+	}
+	if n < 1 || n > r.nodes {
+		panic(fmt.Sprintf("cluster: replica chain length %d outside [1,%d]", n, r.nodes))
+	}
+	chain := make([]int, 0, n)
+	seen := make([]bool, r.nodes)
+	for i := r.slot[shard]; len(chain) < n; i = (i + 1) % len(r.ring) {
+		if node := r.ring[i].node; !seen[node] {
+			seen[node] = true
+			chain = append(chain, node)
+		}
+	}
+	return chain
 }
 
 // Shards returns the shard count.

@@ -65,6 +65,10 @@ func (r ScenarioReport) Render() string {
 	fmt.Fprintf(&b, "scenario %q: allocator=%s service=%s requests=%d (reads=%d writes=%d)\n",
 		r.Name, r.Allocator, r.Service, r.Requests, r.Reads, r.Writes)
 	fmt.Fprintf(&b, "%s\n%s\n", r.Cluster, r.Wait)
+	if r.Failovers > 0 || r.Dropped > 0 || r.MigratedBytes > 0 {
+		fmt.Fprintf(&b, "topology: failovers=%d dropped=%d migrated=%s\n",
+			r.Failovers, r.Dropped, fmtBytes(r.MigratedBytes))
+	}
 	for _, p := range r.Phases {
 		fmt.Fprintf(&b, "phase %-12s [%v → %v] requests=%d\n  %s\n",
 			p.Name, p.Start, p.End, p.Requests, p.Latency)
@@ -77,6 +81,10 @@ func (r ScenarioReport) Render() string {
 	for _, n := range r.PerNode {
 		fmt.Fprintf(&b, "  %s  shards=%-3d reclaims=%-6d swapouts=%-8d %s\n",
 			n.Name, n.Shards, n.Kernel.DirectReclaims, n.Kernel.PagesSwapOut, n.Latency)
+		if n.Downtime > 0 || n.Failovers > 0 || n.Dropped > 0 || n.MigratedBytes > 0 {
+			fmt.Fprintf(&b, "    topology: downtime=%v failovers=%d dropped=%d migrated=%s\n",
+				n.Downtime, n.Failovers, n.Dropped, fmtBytes(n.MigratedBytes))
+		}
 	}
 	return b.String()
 }
@@ -113,6 +121,17 @@ type scenarioRun struct {
 	// next entry to fire.
 	events [][]nodeEvent
 	cursor []int
+	// topo is the compiled outage schedule, nil when the scenario has no
+	// kill/restore events (every counter below stays nil with it). The
+	// counters are node-indexed: failover and routeDropped fill during
+	// generation (one goroutine on both engines), qdropped and migrated
+	// during serving, where a goroutine only ever touches its own node's
+	// slot — so the parallel engine shares nothing.
+	topo         *topology
+	failover     []int64 // requests a node served for a down primary
+	routeDropped []int64 // drops at routing, charged to the primary
+	qdropped     []int64 // backlog drops at a drop-policy kill
+	migrated     []int64 // bytes restores re-filled into a node's shards
 }
 
 // validateScenario checks the scenario against this cluster: the scenario
@@ -136,11 +155,18 @@ func (c *Cluster) validateScenario(scn workload.Scenario) error {
 	return nil
 }
 
-func (c *Cluster) newScenarioRun(scn workload.Scenario) *scenarioRun {
+func (c *Cluster) newScenarioRun(scn workload.Scenario, topo *topology) *scenarioRun {
 	sr := &scenarioRun{
 		st:     c.newRunState(),
 		events: make([][]nodeEvent, len(c.nodes)),
 		cursor: make([]int, len(c.nodes)),
+		topo:   topo,
+	}
+	if topo != nil {
+		sr.failover = make([]int64, len(c.nodes))
+		sr.routeDropped = make([]int64, len(c.nodes))
+		sr.qdropped = make([]int64, len(c.nodes))
+		sr.migrated = make([]int64, len(c.nodes))
 	}
 	if len(scn.Phases) > 1 || len(scn.Phases[0].Classes) > 1 {
 		for _, p := range scn.Phases {
@@ -192,13 +218,14 @@ func (c *Cluster) fireEventsUpTo(sr *scenarioRun, n *Node, upTo simtime.Time) {
 		if ne.at.After(n.sched.Now()) {
 			n.sched.RunUntil(ne.at)
 		}
-		c.applyEvent(n, ne.ev)
+		c.applyEvent(sr, n, ne)
 	}
 }
 
 // applyEvent applies one timeline action to a node at the node's current
 // virtual time.
-func (c *Cluster) applyEvent(n *Node, ev workload.Event) {
+func (c *Cluster) applyEvent(sr *scenarioRun, n *Node, ne nodeEvent) {
+	ev := ne.ev
 	switch ev.Kind {
 	case workload.EventPressureStart:
 		c.stopPressure(n)
@@ -247,6 +274,28 @@ func (c *Cluster) applyEvent(n *Node, ev workload.Event) {
 			n.kernel.ExitProcess(n.squeeze)
 			n.squeeze = nil
 		}
+	case workload.EventKillNode:
+		// The node is fenced: its co-tenant machinery dies with it and
+		// its squeeze footprint is released, but kernel and service state
+		// stay resident for the restore (a crashed process, not a wiped
+		// machine). Being out of rotation is enforced by the routing
+		// schedule, not here — a down node simply receives no arrivals.
+		c.stopPressure(n)
+		c.stopBatchRunner(n)
+		c.stopDaemon(n)
+		if n.squeeze != nil {
+			n.kernel.ExitProcess(n.squeeze)
+			n.squeeze = nil
+		}
+	case workload.EventRestoreNode:
+		// Re-fill the node's primary shards with the writes the outage
+		// diverted to replicas; the manifest is complete by now (see
+		// migration.go's determinism argument). Background machinery the
+		// kill stopped stays stopped — a later timeline event can restart
+		// it explicitly.
+		if w := sr.topo.windowEndingAt(n.Index, ne.at); w != nil {
+			sr.migrated[n.Index] += c.replayMigration(w.manifest)
+		}
 	}
 }
 
@@ -259,13 +308,27 @@ func (sr *scenarioRun) pcIndex(req workload.ScenarioRequest) int32 {
 	return int32(sr.pcOff[req.Phase] + req.Class)
 }
 
-// serveScenario fires the target node's due events, serves the request
+// serveScenario fires the serving node's due events, serves the request
 // through the shared serve path, and segments the recorded latency into the
-// request's (phase, class, node) cell.
-func (c *Cluster) serveScenario(sr *scenarioRun, shardID int, pcIdx int32, req workload.Request) {
-	n := c.shards[shardID].node
+// request's (phase, class, node) cell. inst is the replica-chain position
+// routing picked (0 — the primary — whenever the scenario has no topology
+// events).
+func (c *Cluster) serveScenario(sr *scenarioRun, shardID int, inst, pcIdx int32, req workload.Request) {
+	in := c.shards[shardID].instances[inst]
+	n := in.node
 	c.fireEventsUpTo(sr, n, req.At)
-	lat := c.serve(sr.st, shardID, req)
+	if sr.topo != nil {
+		if sr.topo.dropsQueued(n.Index, req.At, n.sched.Now()) {
+			// A drop-policy kill severed the backlog this request was
+			// queued in: count it, serve nothing.
+			sr.qdropped[n.Index]++
+			return
+		}
+		if inst > 0 {
+			sr.failover[n.Index]++
+		}
+	}
+	lat := c.serveOn(sr.st, shardID, int(inst), req)
 	if pcIdx < 0 { // single-cell scenario: the base digests cover it
 		return
 	}
@@ -289,21 +352,29 @@ func (c *Cluster) RunScenario(scn workload.Scenario) (ScenarioReport, error) {
 	if err := c.validateScenario(scn); err != nil {
 		return ScenarioReport{}, err
 	}
-	if c.cfg.Sequential || len(c.nodes) == 1 {
-		return c.runScenarioSequential(scn), nil
+	topo, err := c.newTopology(scn)
+	if err != nil {
+		return ScenarioReport{}, err
 	}
-	return c.runScenarioParallel(scn), nil
+	if c.cfg.Sequential || len(c.nodes) == 1 {
+		return c.runScenarioSequential(scn, topo), nil
+	}
+	return c.runScenarioParallel(scn, topo), nil
 }
 
-// generateScenario pulls the scenario's request stream, handing each
-// routed request to emit, and returns the generated phase bounds. Flat
-// lifted scenarios (every Cluster.Run) are detected and driven by the
-// plain LoadDriver — the identical stream without the merge layer, so the
-// adapter costs the seed path nothing. Both engines share this: only the
-// emit sink differs (serve now vs. partition for later).
+// generateScenario pulls the scenario's request stream, routing each
+// request — shard by key, serving instance by the outage schedule — and
+// handing it to emit; it returns the generated phase bounds. Flat lifted
+// scenarios (every Cluster.Run) are detected and driven by the plain
+// LoadDriver — the identical stream without the merge layer, so the
+// adapter costs the seed path nothing; a topology schedule disables the
+// bypass because routing then depends on the arrival instant. Both engines
+// share this: only the emit sink differs (serve now vs. partition for
+// later). Requests whose whole replica chain is down never reach emit —
+// they are counted against the primary and dropped here, at routing.
 func (c *Cluster) generateScenario(scn workload.Scenario, sr *scenarioRun,
-	emit func(req workload.Request, shard, pc int32)) []workload.PhaseBound {
-	if flat, ok := scn.FlatLoad(); ok {
+	emit func(req workload.Request, shard, inst, pc int32)) []workload.PhaseBound {
+	if flat, ok := scn.FlatLoad(); ok && sr.topo == nil {
 		d := workload.NewLoadDriver(flat)
 		bound := workload.PhaseBound{Start: flat.Start, End: flat.Start}
 		for {
@@ -311,7 +382,7 @@ func (c *Cluster) generateScenario(scn workload.Scenario, sr *scenarioRun,
 			if !ok {
 				break
 			}
-			emit(req, int32(c.router.ShardForKey(req.Key)), -1)
+			emit(req, int32(c.router.ShardForKey(req.Key)), 0, -1)
 			bound.End = req.At
 			bound.Requests++
 		}
@@ -323,26 +394,44 @@ func (c *Cluster) generateScenario(scn workload.Scenario, sr *scenarioRun,
 		if !ok {
 			break
 		}
-		emit(req.Request, int32(c.router.ShardForKey(req.Key)), sr.pcIndex(req))
+		shard := c.router.ShardForKey(req.Key)
+		inst := 0
+		if sr.topo != nil {
+			var up bool
+			if inst, up = c.routeInstance(sr.topo, shard, req.At); !up {
+				sr.routeDropped[c.chains[shard][0]]++
+				continue
+			}
+			if inst > 0 && req.Op == workload.OpWrite {
+				// A write diverted past a down primary lands in the
+				// primary's migration manifest, replayed at its restore.
+				if w := sr.topo.window(c.chains[shard][0], req.At); w != nil && w.manifest != nil {
+					w.manifest.add(int32(shard), req.Key, req.ValueBytes)
+				}
+			}
+		}
+		emit(req.Request, int32(shard), int32(inst), sr.pcIndex(req))
 	}
 	return d.Bounds()
 }
 
 // runScenarioSequential executes the scenario on one goroutine in global
 // arrival order, streaming the generation with O(1) workload memory.
-func (c *Cluster) runScenarioSequential(scn workload.Scenario) ScenarioReport {
-	sr := c.newScenarioRun(scn)
-	bounds := c.generateScenario(scn, sr, func(req workload.Request, shard, pc int32) {
-		c.serveScenario(sr, int(shard), pc, req)
+func (c *Cluster) runScenarioSequential(scn workload.Scenario, topo *topology) ScenarioReport {
+	sr := c.newScenarioRun(scn, topo)
+	bounds := c.generateScenario(scn, sr, func(req workload.Request, shard, inst, pc int32) {
+		c.serveScenario(sr, int(shard), inst, pc, req)
 	})
 	return c.finishScenario(sr, scn, bounds)
 }
 
-// routedScenarioReq is one scenario request bound to its shard and its
-// segmentation cell, the unit of the per-node partition.
+// routedScenarioReq is one scenario request bound to its shard, the
+// replica-chain instance serving it, and its segmentation cell — the unit
+// of the per-node partition.
 type routedScenarioReq struct {
 	req   workload.Request
 	shard int32
+	inst  int32
 	pc    int32
 }
 
@@ -351,7 +440,7 @@ type routedScenarioReq struct {
 // are node-local, so each goroutine fires its own node's timeline at the
 // same per-node points as the sequential engine and the report is
 // bit-identical.
-func (c *Cluster) runScenarioParallel(scn workload.Scenario) ScenarioReport {
+func (c *Cluster) runScenarioParallel(scn workload.Scenario, topo *topology) ScenarioReport {
 	perNode := make([][]routedScenarioReq, len(c.nodes))
 	var budget int64
 	for _, p := range scn.Phases {
@@ -368,10 +457,13 @@ func (c *Cluster) runScenarioParallel(scn workload.Scenario) ScenarioReport {
 			perNode[i] = make([]routedScenarioReq, 0, per)
 		}
 	}
-	sr := c.newScenarioRun(scn)
-	bounds := c.generateScenario(scn, sr, func(req workload.Request, shard, pc int32) {
-		node := c.shards[shard].node.Index
-		perNode[node] = append(perNode[node], routedScenarioReq{req: req, shard: shard, pc: pc})
+	sr := c.newScenarioRun(scn, topo)
+	bounds := c.generateScenario(scn, sr, func(req workload.Request, shard, inst, pc int32) {
+		// Partition by the SERVING node: failover hands the request to
+		// the replica's goroutine, preserving arrival order within every
+		// node — which is all a node can observe.
+		node := c.shards[shard].instances[inst].node.Index
+		perNode[node] = append(perNode[node], routedScenarioReq{req: req, shard: shard, inst: inst, pc: pc})
 	})
 
 	var wg sync.WaitGroup
@@ -386,7 +478,7 @@ func (c *Cluster) runScenarioParallel(scn workload.Scenario) ScenarioReport {
 		go func() {
 			defer wg.Done()
 			for _, rr := range reqs {
-				c.serveScenario(sr, int(rr.shard), rr.pc, rr.req)
+				c.serveScenario(sr, int(rr.shard), rr.inst, rr.pc, rr.req)
 			}
 		}()
 	}
@@ -419,6 +511,22 @@ func (c *Cluster) finishScenario(sr *scenarioRun, scn workload.Scenario, bounds 
 	}
 
 	rep := ScenarioReport{Name: scn.Name, Report: c.finish(sr.st)}
+	if sr.topo != nil {
+		// Every node sits on the common settle horizon after finish, and
+		// the drain above fired every event, so the horizon bounds every
+		// window — downtime is engine-independent.
+		horizon := c.nodes[0].sched.Now()
+		for ni := range c.nodes {
+			nr := &rep.PerNode[ni]
+			nr.Downtime = sr.topo.downtimeUpTo(ni, horizon)
+			nr.Failovers = sr.failover[ni]
+			nr.Dropped = sr.routeDropped[ni] + sr.qdropped[ni]
+			nr.MigratedBytes = sr.migrated[ni]
+			rep.Failovers += nr.Failovers
+			rep.Dropped += nr.Dropped
+			rep.MigratedBytes += nr.MigratedBytes
+		}
+	}
 	if sr.pc == nil {
 		// Single-cell scenario: the lone phase × class cell is the whole
 		// run, so its digests are the base report's.

@@ -29,13 +29,16 @@ type ScenarioSpec struct {
 // SpecOverrides are a preset's cluster-shape hints; zero-valued fields
 // leave the base config untouched.
 type SpecOverrides struct {
-	Nodes     int           `json:"nodes,omitempty"`
-	Shards    int           `json:"shards,omitempty"`
-	Replicas  int           `json:"replicas,omitempty"`
-	Service   ServiceKind   `json:"service,omitempty"`
-	Allocator AllocatorKind `json:"allocator,omitempty"`
-	MemGB     int64         `json:"mem_gb,omitempty"`
-	Stats     StatsMode     `json:"stats,omitempty"`
+	Nodes    int `json:"nodes,omitempty"`
+	Shards   int `json:"shards,omitempty"`
+	Replicas int `json:"replicas,omitempty"`
+	// ShardReplicas is the shard replication factor (Config.ShardReplicas):
+	// failover-drill presets set it so kills have somewhere to fail over.
+	ShardReplicas int           `json:"shard_replicas,omitempty"`
+	Service       ServiceKind   `json:"service,omitempty"`
+	Allocator     AllocatorKind `json:"allocator,omitempty"`
+	MemGB         int64         `json:"mem_gb,omitempty"`
+	Stats         StatsMode     `json:"stats,omitempty"`
 }
 
 // Apply layers the overrides onto a base config and re-validates the
@@ -52,6 +55,9 @@ func (o *SpecOverrides) Apply(cfg Config) (Config, error) {
 	}
 	if o.Replicas > 0 {
 		cfg.Replicas = o.Replicas
+	}
+	if o.ShardReplicas > 0 {
+		cfg.ShardReplicas = o.ShardReplicas
 	}
 	if o.Service != "" {
 		cfg.ServiceKind = o.Service

@@ -111,6 +111,31 @@ func (r *Redis) Query(key, valueBytes int64) (total, ins, rd simtime.Duration) {
 	return total, ins, rd
 }
 
+// ImportRecords implements Service: a migration batch re-fills the store
+// one record at a time through the allocator — Redis has no bulk-load side
+// door, so the re-fill contends with whatever pressure the node is under,
+// exactly like live inserts. The scheduler advances per record so kswapd
+// and co-tenants interleave with the re-fill.
+func (r *Redis) ImportRecords(entries []ImportEntry) simtime.Duration {
+	s := r.k.Scheduler()
+	var total simtime.Duration
+	for _, e := range entries {
+		c := r.Insert(e.Key, e.Size)
+		s.Advance(c)
+		total += c
+	}
+	return total
+}
+
+// ExportRecords implements Service.
+func (r *Redis) ExportRecords(buf []ImportEntry) []ImportEntry {
+	for _, key := range r.table.SortedKeys(nil) {
+		b, _ := r.table.Get(key)
+		buf = append(buf, ImportEntry{Key: key, Size: b.Size})
+	}
+	return buf
+}
+
 // Close implements Service. The allocator is owned by the caller; the
 // table is simply dropped (a nil flatmap keeps the Go-map contract: reads
 // after Close are harmless misses, writes panic).

@@ -58,6 +58,15 @@ func RocksdbCosts() CostConfig {
 	}
 }
 
+// ImportEntry is one record of a shard-migration batch: the key and the
+// payload size of its latest version. A batch is an oplog slice — entries
+// replay in their original write order, so a later overwrite of the same
+// key supersedes the earlier one exactly as the live path would.
+type ImportEntry struct {
+	Key  int64
+	Size int64
+}
+
 // Service is the common surface the experiments drive.
 type Service interface {
 	// Name identifies the service in experiment output.
@@ -81,6 +90,18 @@ type Service interface {
 	LastPreMapped() bool
 	// Allocator exposes the backing allocator.
 	Allocator() alloc.Allocator
+	// ImportRecords bulk-loads an oplog batch — the shard-migration ingest
+	// path a restored node replays. The work is real virtual-time work on
+	// the service's node (Redis re-inserts every record through its
+	// allocator; RocksDB takes one SST handoff per batch): the method
+	// advances the service's scheduler itself and returns the total cost.
+	ImportRecords(entries []ImportEntry) simtime.Duration
+	// ExportRecords appends the live record set — every key with its
+	// current size — to buf in ascending key order and returns the
+	// extended slice. This is the migration export hook and the oracle
+	// surface for conservation tests; it reads no clocks and costs no
+	// virtual time.
+	ExportRecords(buf []ImportEntry) []ImportEntry
 	// Close releases service resources (not the allocator).
 	Close()
 }

@@ -211,6 +211,36 @@ const (
 	// EventSqueezeStop releases the target nodes' entire squeeze
 	// footprint (no-op where none is held).
 	EventSqueezeStop EventKind = "squeeze-stop"
+	// EventKillNode takes the target node out of rotation: requests whose
+	// shard chain has a live replica fail over to it, the rest are
+	// dropped; the node's co-tenant machinery (pressure, batch, daemon,
+	// squeeze) dies with it. Service state stays resident — the model is a
+	// fenced process, not a wiped machine — so a later restore resumes
+	// from the pre-kill dataset plus the migrated delta. Requires an
+	// explicit Node index (a fleet-wide kill would leave nothing to serve).
+	EventKillNode EventKind = "kill-node"
+	// EventRestoreNode brings a killed node back into rotation and, when
+	// the cluster runs shard replicas, replays the writes the outage
+	// missed into the node's primary shards (live shard migration: an SST
+	// handoff for RocksDB, a per-key re-fill through the allocator for
+	// Redis). Requires an explicit Node index.
+	EventRestoreNode EventKind = "restore-node"
+)
+
+// KillPolicy selects what a killed node does with requests that were queued
+// behind its single-threaded server when the kill fired.
+type KillPolicy string
+
+const (
+	// KillDrain (the default) lets the backlog drain: requests that
+	// arrived before the kill instant are served even though the server
+	// finishes them after it — a graceful stop.
+	KillDrain KillPolicy = "drain"
+	// KillDrop discards the backlog: a request that arrived before the
+	// kill but had not started by it is dropped and counted, as a hard
+	// crash severs queued connections. A request already executing at the
+	// kill instant still completes.
+	KillDrop KillPolicy = "drop"
 )
 
 // Event is one timeline entry: at virtual instant Start+At, apply Kind to
@@ -235,6 +265,18 @@ type Event struct {
 	Daemon *monitor.Config
 	// Bytes is the footprint EventSqueezeStart pins.
 	Bytes int64
+	// Policy selects the backlog fate for EventKillNode (empty =
+	// KillDrain).
+	Policy KillPolicy
+}
+
+// KillPolicyKind resolves the event's kill policy, defaulting to KillDrain
+// so the zero value works.
+func (e Event) KillPolicyKind() KillPolicy {
+	if e.Policy == "" {
+		return KillDrain
+	}
+	return e.Policy
 }
 
 // Validate reports whether the event is well-formed in isolation (node
@@ -270,9 +312,25 @@ func (e Event) Validate() error {
 				return err
 			}
 		}
+	case EventKillNode:
+		if e.Node < 0 {
+			return fmt.Errorf("kill-node needs an explicit Node index (got %d; -1/all would leave nothing to serve)", e.Node)
+		}
+		switch e.KillPolicyKind() {
+		case KillDrain, KillDrop:
+		default:
+			return fmt.Errorf("kill-node Policy must be %q or %q (got %q)", KillDrain, KillDrop, e.Policy)
+		}
+	case EventRestoreNode:
+		if e.Node < 0 {
+			return fmt.Errorf("restore-node needs an explicit Node index (got %d)", e.Node)
+		}
 	case EventPressureStop, EventBatchStop, EventDaemonStop, EventSqueezeStop:
 	default:
 		return fmt.Errorf("unknown event kind %q", e.Kind)
+	}
+	if e.Policy != "" && e.Kind != EventKillNode {
+		return fmt.Errorf("Policy applies only to kill-node events (got %q on %s)", e.Policy, e.Kind)
 	}
 	return nil
 }

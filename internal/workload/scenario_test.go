@@ -310,6 +310,14 @@ func TestScenarioValidateMessages(t *testing.T) {
 		{"bad event", func(s *Scenario) { s.Events = []Event{{At: -1, Kind: EventPressureStop}} }, "event 0"},
 		{"bad event kind", func(s *Scenario) { s.Events = []Event{{Kind: "explode"}} }, "unknown event kind"},
 		{"squeeze needs bytes", func(s *Scenario) { s.Events = []Event{{Kind: EventSqueezeStart}} }, "Bytes must be > 0"},
+		{"kill needs a node", func(s *Scenario) { s.Events = []Event{{Kind: EventKillNode, Node: -1}} }, "kill-node needs an explicit Node index"},
+		{"bad kill policy", func(s *Scenario) {
+			s.Events = []Event{{Kind: EventKillNode, Node: 0, Policy: "panic"}}
+		}, "kill-node Policy must be"},
+		{"restore needs a node", func(s *Scenario) { s.Events = []Event{{Kind: EventRestoreNode, Node: -1}} }, "restore-node needs an explicit Node index"},
+		{"policy off a kill", func(s *Scenario) {
+			s.Events = []Event{{Kind: EventPressureStop, Node: -1, Policy: KillDrop}}
+		}, "Policy applies only to kill-node"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -342,6 +350,12 @@ func TestScenarioJSONRoundTrip(t *testing.T) {
 		// Not MB-aligned: must survive the MB-grained wire format exactly.
 		{At: 200 * simtime.Millisecond, Node: 0, Kind: EventSqueezeStart, Bytes: 512 << 10},
 		{At: 400 * simtime.Millisecond, Node: -1, Kind: EventPressureStop},
+		// Topology events: the drop policy must ride the wire, and an
+		// elided policy must come back as the zero value (KillDrain applies
+		// at fire time, not in the document).
+		{At: 450 * simtime.Millisecond, Node: 1, Kind: EventKillNode},
+		{At: 500 * simtime.Millisecond, Node: 2, Kind: EventKillNode, Policy: KillDrop},
+		{At: 600 * simtime.Millisecond, Node: 2, Kind: EventRestoreNode},
 	}
 	data, err := MarshalScenarioJSON(s)
 	if err != nil {

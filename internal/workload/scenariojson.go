@@ -94,6 +94,8 @@ type eventJSON struct {
 	Pressure *pressureJSON `json:"pressure,omitempty"`
 	// batch-start knobs (all optional).
 	Batch *batchJSON `json:"batch,omitempty"`
+	// kill-node backlog policy ("drain" or "drop"; optional).
+	Policy string `json:"policy,omitempty"`
 }
 
 type pressureJSON struct {
@@ -157,10 +159,11 @@ func ParseScenario(data []byte) (Scenario, error) {
 	}
 	for _, ej := range doc.Events {
 		e := Event{
-			At:    simtime.Duration(ej.At),
-			Node:  -1,
-			Kind:  EventKind(ej.Kind),
-			Bytes: ej.MB << 20,
+			At:     simtime.Duration(ej.At),
+			Node:   -1,
+			Kind:   EventKind(ej.Kind),
+			Bytes:  ej.MB << 20,
+			Policy: KillPolicy(ej.Policy),
 		}
 		if ej.Bytes > 0 {
 			e.Bytes = ej.Bytes
@@ -260,8 +263,9 @@ func MarshalScenarioJSON(s Scenario) ([]byte, error) {
 	}
 	for _, e := range s.Events {
 		ej := eventJSON{
-			At:   jsonDur(e.At),
-			Kind: string(e.Kind),
+			At:     jsonDur(e.At),
+			Kind:   string(e.Kind),
+			Policy: string(e.Policy),
 		}
 		if e.Bytes%(1<<20) == 0 {
 			ej.MB = e.Bytes >> 20
