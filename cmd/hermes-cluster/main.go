@@ -38,6 +38,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"reflect"
 	"runtime"
@@ -231,10 +232,12 @@ func runScenarioFile(cfg hermes.ClusterConfig, kinds []hermes.AllocatorKind, opt
 		return err
 	}
 	scn := spec.Scenario
+	// NaN fails every comparison, so the guard must demand the positive
+	// range explicitly rather than reject <= 0.
+	if !(opts.scale > 0) || math.IsInf(opts.scale, 1) {
+		return fmt.Errorf("-scale must be a positive, finite number (got %v)", opts.scale)
+	}
 	if opts.scale != 1 {
-		if opts.scale <= 0 {
-			return fmt.Errorf("-scale must be > 0 (got %v)", opts.scale)
-		}
 		scn = scn.Scaled(opts.scale)
 	}
 	if opts.seedSet {

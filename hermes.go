@@ -157,6 +157,18 @@ type (
 	// KillPolicy selects what a killed node does with its queued backlog
 	// (drain it or drop it).
 	KillPolicy = workload.KillPolicy
+	// Resilience is a traffic class's client-side policy: request
+	// timeout, bounded retries with exponential backoff and seeded
+	// jitter, and speculative read hedging to a replica.
+	Resilience = workload.Resilience
+	// SLO declares a scenario's latency objective: a target p99 sampled
+	// over a window, reported as per-node and cluster-wide compliance.
+	SLO = workload.SLO
+	// Policies holds a scenario's SLO-driven control policies; today
+	// that is ShedPolicy — per-node probabilistic load shedding stepped
+	// by windowed p99 breaches.
+	Policies   = workload.Policies
+	ShedPolicy = workload.ShedPolicy
 	// MigrationRecord is one record of a shard-migration batch — the unit
 	// Service.ImportRecords ingests and Service.ExportRecords emits.
 	MigrationRecord = services.ImportEntry
@@ -228,6 +240,9 @@ const (
 	EventSqueezeStop   = workload.EventSqueezeStop
 	EventKillNode      = workload.EventKillNode
 	EventRestoreNode   = workload.EventRestoreNode
+	EventDegradeNode   = workload.EventDegradeNode
+	EventHealNode      = workload.EventHealNode
+	EventFaultWindow   = workload.EventFaultWindow
 )
 
 // Backlog policies for kill-node events.

@@ -560,6 +560,22 @@ type NodeReport struct {
 	Failovers     int64
 	Dropped       int64
 	MigratedBytes int64
+	// Resilience layer (all zero on runs without one). Retries counts
+	// retry attempts that actually fired on this node; Timeouts counts
+	// served attempts whose latency beat their class deadline; Errors
+	// counts attempts failed fast by a fault window; Hedges counts
+	// speculative read hedges this node served; Shed counts attempts its
+	// admission controller rejected; Failed counts request chains that
+	// exhausted every attempt without a success.
+	Retries  int64
+	Timeouts int64
+	Errors   int64
+	Hedges   int64
+	Shed     int64
+	Failed   int64
+	// SLOCompliance is the fraction of this node's served requests within
+	// the scenario's SLO target (1 when no SLO is declared).
+	SLOCompliance float64
 }
 
 // Report is the digest of one cluster run.
@@ -584,9 +600,29 @@ type Report struct {
 	Failovers     int64
 	Dropped       int64
 	MigratedBytes int64
+	// Resilience totals (sums of the per-node columns; zero on runs
+	// without a resilience layer). Errored, shed and timed-out attempts
+	// are never double-counted in Requests: a request chain contributes
+	// at most one successful serve plus any hedges.
+	Retries  int64
+	Timeouts int64
+	Errors   int64
+	Hedges   int64
+	Shed     int64
+	Failed   int64
+	// SLOTarget echoes the scenario's p99 objective (0 = none declared);
+	// SLOCompliance is the fraction of served requests at or under it.
+	SLOTarget     simtime.Duration
+	SLOCompliance float64
 	// PerNode and PerShard are the sliced digests.
 	PerNode  []NodeReport
 	PerShard []stats.Summary
+}
+
+// resilienceActive reports whether the run carried a resilience layer.
+func (r Report) resilienceActive() bool {
+	return r.Retries > 0 || r.Timeouts > 0 || r.Errors > 0 || r.Hedges > 0 ||
+		r.Shed > 0 || r.Failed > 0 || r.SLOTarget > 0
 }
 
 // Render prints the report in the repo's table style.
@@ -600,6 +636,13 @@ func (r Report) Render() string {
 		fmt.Fprintf(&b, "topology: failovers=%d dropped=%d migrated=%s\n",
 			r.Failovers, r.Dropped, fmtBytes(r.MigratedBytes))
 	}
+	if r.resilienceActive() {
+		fmt.Fprintf(&b, "resilience: retries=%d timeouts=%d errors=%d hedges=%d shed=%d failed=%d\n",
+			r.Retries, r.Timeouts, r.Errors, r.Hedges, r.Shed, r.Failed)
+		if r.SLOTarget > 0 {
+			fmt.Fprintf(&b, "slo: p99<=%v compliance=%.2f%%\n", r.SLOTarget, r.SLOCompliance*100)
+		}
+	}
 	b.WriteString("per node:\n")
 	for _, n := range r.PerNode {
 		fmt.Fprintf(&b, "  %s  shards=%-3d reclaims=%-6d swapouts=%-8d %s\n",
@@ -607,6 +650,10 @@ func (r Report) Render() string {
 		if n.Downtime > 0 || n.Failovers > 0 || n.Dropped > 0 || n.MigratedBytes > 0 {
 			fmt.Fprintf(&b, "    topology: downtime=%v failovers=%d dropped=%d migrated=%s\n",
 				n.Downtime, n.Failovers, n.Dropped, fmtBytes(n.MigratedBytes))
+		}
+		if n.Retries > 0 || n.Timeouts > 0 || n.Errors > 0 || n.Hedges > 0 || n.Shed > 0 || n.Failed > 0 || r.SLOTarget > 0 {
+			fmt.Fprintf(&b, "    resilience: retries=%d timeouts=%d errors=%d hedges=%d shed=%d failed=%d compliance=%.2f%%\n",
+				n.Retries, n.Timeouts, n.Errors, n.Hedges, n.Shed, n.Failed, n.SLOCompliance*100)
 		}
 	}
 	b.WriteString("per shard:\n")
@@ -640,6 +687,11 @@ type runState struct {
 	shardReads, shardWrites [][]int64           // indexed by shard ID, chain position
 	wait                    []*stats.Recorder   // indexed by node index
 	reads, writes           []int64             // indexed by node index
+	// degrade is the per-node service-slowdown schedule compiled from
+	// degrade-node/heal-node events; nil on every run without them. The
+	// factor is looked up at service start on the node's own clock, so the
+	// verdict is node-local.
+	degrade [][]factorWindow
 }
 
 func (c *Cluster) newRunState() *runState {
@@ -702,6 +754,14 @@ func (c *Cluster) serveOn(st *runState, shardID, inst int, req workload.Request)
 		raw = in.svc.Read(req.Key)
 		st.shardReads[shardID][inst]++
 		st.reads[n.Index]++
+	}
+	if st.degrade != nil {
+		// A degraded node does the same work slower: the whole raw service
+		// cost stretches by the window's factor before jitter and clock
+		// occupancy, as if the CPU were clocked down.
+		if f := degradeFactorAt(st.degrade[n.Index], n.sched.Now()); f != 1 {
+			raw = simtime.Duration(float64(raw) * f)
+		}
 	}
 	// The server occupies the node for the raw service time; the client
 	// observes queueing plus the jittered service time. The shard's

@@ -1,0 +1,571 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/hermes-sim/hermes/internal/simtime"
+	"github.com/hermes-sim/hermes/internal/stats"
+	"github.com/hermes-sim/hermes/internal/workload"
+	"github.com/hermes-sim/hermes/internal/workload/randgen"
+)
+
+// This file is the resilience layer: deterministic soft-fault injection
+// (degrade-node/heal-node service slowdowns and fault-window error bursts),
+// client-side resilience policies (timeouts, retries with backoff + jitter,
+// read hedging), and the SLO-driven shedding controller. Like the topology
+// layer it compiles the scenario's events into static schedules up front,
+// so everything a node does remains a pure function of its own arrival
+// stream.
+//
+// Determinism argument. Soft faults follow the topology playbook: degrade
+// windows and fault windows are compiled from declared events, so a node's
+// slowdown factor and a request's error probability are pure functions of
+// (node/shard, instant). Error verdicts and backoff jitter are drawn at
+// GENERATION time — one goroutine in both engines, in emission order —
+// from their own domain-separated streams, so the expanded attempt stream
+// (primaries, retries, hedges) is byte-identical before either engine
+// partitions it. The one genuinely runtime-dependent trigger is the client
+// timeout: whether attempt k timed out is only known when its serving node
+// finishes it. Timeout retries are therefore emitted SPECULATIVELY at
+// generation (at send + timeout + backoff) and carry a condition — "fires
+// only if the previous attempt failed" — that the serving node evaluates
+// locally against a per-node fate table filled in per-node arrival order.
+// A conditional attempt whose routing lands on a different node than its
+// chain's anchor is discarded at generation (the fate is not observable
+// there without cross-node feedback); this can only happen under topology
+// events and is documented as a modelling artifact. Hedges go to a
+// different node by construction, so they are unconditional ("always hedge
+// after the delay"); the SLO controller is per-node state advanced in
+// per-node arrival order with its own per-node stream. Nothing a node
+// observes depends on another node's runtime state — the invariant both
+// engines rest on.
+
+// Domain-separation stream ids for the resilience layer (same namespace
+// discipline as workload's streamLoadDriver).
+const (
+	streamFaultDraws = 0x666c742d64726177 // "flt-draw": fault-window error verdicts
+	streamRetryJit   = 0x727472792d6a6974 // "rtry-jit": backoff jitter
+	streamShedCtl    = 0x736865642d637472 // "shed-ctr": per-node shed draws (xor node)
+)
+
+// factorWindow is one service-latency degradation of one node: raw service
+// cost multiplies by factor during [from, to).
+type factorWindow struct {
+	from, to simtime.Time
+	factor   float64
+}
+
+// degradeFactorAt returns the slowdown factor covering the instant (1 when
+// none does). Windows are sorted and non-overlapping per node.
+func degradeFactorAt(ws []factorWindow, at simtime.Time) float64 {
+	for i := range ws {
+		if at.Before(ws[i].from) {
+			return 1
+		}
+		if at.Before(ws[i].to) {
+			return ws[i].factor
+		}
+	}
+	return 1
+}
+
+// faultWindow is one error burst on one target: requests during [from, to)
+// fail with probability rate.
+type faultWindow struct {
+	from, to simtime.Time
+	rate     float64
+}
+
+// resClass is one traffic class's lowered resilience policy; active is
+// false for classes without one.
+type resClass struct {
+	active  bool
+	timeout simtime.Duration
+	retries int
+	backoff simtime.Duration
+	jitter  float64
+	hedge   simtime.Duration
+}
+
+// resilience is a scenario's compiled resilience state: static fault
+// schedules, per-class policies, the SLO block, and the generation-time
+// streams. nil when the scenario has none of it — the marker for every
+// fast path.
+type resilience struct {
+	degrade    [][]factorWindow // per node, sorted, non-overlapping
+	nodeFault  [][]faultWindow  // per node
+	shardFault [][]faultWindow  // per shard
+	class      []resClass       // indexed classOff[phase]+class
+	classOff   []int
+	anyPolicy  bool // at least one class has an active policy
+	slo        *workload.SLO
+	shed       *workload.ShedPolicy
+	faults     *randgen.Stream // error verdicts (generation time)
+	jit        *randgen.Stream // backoff jitter (generation time)
+}
+
+// classFor returns the lowered policy for a (phase, class) cell.
+func (r *resilience) classFor(phase, class int32) *resClass {
+	return &r.class[r.classOff[phase]+int(class)]
+}
+
+// faultRate returns the error probability for a request to (node, shard) at
+// the instant. Overlapping windows compound probabilistically: the request
+// survives only if it survives every covering window.
+func (r *resilience) faultRate(node, shard int, at simtime.Time) float64 {
+	keep := 1.0
+	for i := range r.nodeFault[node] {
+		w := &r.nodeFault[node][i]
+		if !at.Before(w.from) && at.Before(w.to) {
+			keep *= 1 - w.rate
+		}
+	}
+	for i := range r.shardFault[shard] {
+		w := &r.shardFault[shard][i]
+		if !at.Before(w.from) && at.Before(w.to) {
+			keep *= 1 - w.rate
+		}
+	}
+	return 1 - keep
+}
+
+// newResilience compiles the scenario's soft-fault events and class
+// policies, validating transitions (a heal needs an active degrade, a
+// fault-window shard must exist). Returns nil when the scenario has no
+// resilience surface at all.
+func (c *Cluster) newResilience(scn workload.Scenario) (*resilience, error) {
+	hasEvents := false
+	for _, e := range scn.Events {
+		switch e.Kind {
+		case workload.EventDegradeNode, workload.EventHealNode, workload.EventFaultWindow:
+			hasEvents = true
+		}
+	}
+	anyPolicy := false
+	for _, p := range scn.Phases {
+		for _, tc := range p.Classes {
+			if tc.Resilience != nil {
+				anyPolicy = true
+			}
+		}
+	}
+	if !hasEvents && !anyPolicy && scn.SLO == nil {
+		return nil, nil
+	}
+	r := &resilience{
+		degrade:    make([][]factorWindow, len(c.nodes)),
+		nodeFault:  make([][]faultWindow, len(c.nodes)),
+		shardFault: make([][]faultWindow, len(c.shards)),
+		anyPolicy:  anyPolicy,
+		slo:        scn.SLO,
+		faults:     randgen.Split(scn.Seed, streamFaultDraws),
+		jit:        randgen.Split(scn.Seed, streamRetryJit),
+	}
+	if scn.Policies != nil {
+		r.shed = scn.Policies.Shed
+	}
+	for _, p := range scn.Phases {
+		r.classOff = append(r.classOff, len(r.class))
+		for _, tc := range p.Classes {
+			rc := resClass{}
+			if pol := tc.Resilience; pol != nil {
+				rc = resClass{
+					active:  true,
+					timeout: pol.Timeout,
+					retries: pol.Retries,
+					backoff: pol.Backoff,
+					jitter:  pol.Jitter,
+					hedge:   pol.Hedge,
+				}
+			}
+			r.class = append(r.class, rc)
+		}
+	}
+	// Walk events in firing order — (At, declaration) — so degrade/heal
+	// pairing matches what the node cursors will observe.
+	order := make([]int, len(scn.Events))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return scn.Events[order[a]].At < scn.Events[order[b]].At
+	})
+	open := make([]int, len(c.nodes)) // open degrade window index + 1, or 0
+	for _, i := range order {
+		e := scn.Events[i]
+		at := scn.Start.Add(e.At)
+		targets := func() []int {
+			if e.Node >= 0 {
+				return []int{e.Node}
+			}
+			all := make([]int, len(c.nodes))
+			for n := range all {
+				all[n] = n
+			}
+			return all
+		}
+		switch e.Kind {
+		case workload.EventDegradeNode:
+			for _, n := range targets() {
+				if o := open[n]; o > 0 {
+					// Re-degrade replaces the factor: close the open
+					// window here and open a new one.
+					r.degrade[n][o-1].to = at
+				}
+				r.degrade[n] = append(r.degrade[n], factorWindow{
+					from: at, to: simtime.MaxTime, factor: e.Factor,
+				})
+				open[n] = len(r.degrade[n])
+			}
+		case workload.EventHealNode:
+			for _, n := range targets() {
+				if open[n] == 0 {
+					return nil, fmt.Errorf("cluster: scenario %q event %d (%s): node %d is not degraded at %v (degrade it first)",
+						scn.Name, i, e.Kind, n, at)
+				}
+				r.degrade[n][open[n]-1].to = at
+				open[n] = 0
+			}
+		case workload.EventFaultWindow:
+			w := faultWindow{from: at, to: at.Add(e.Duration), rate: e.ErrorRate}
+			if e.Shard != nil {
+				if *e.Shard >= len(c.shards) {
+					return nil, fmt.Errorf("cluster: scenario %q event %d (%s): targets shard %d but the cluster has %d shards",
+						scn.Name, i, e.Kind, *e.Shard, len(c.shards))
+				}
+				r.shardFault[*e.Shard] = append(r.shardFault[*e.Shard], w)
+				continue
+			}
+			for _, n := range targets() {
+				r.nodeFault[n] = append(r.nodeFault[n], w)
+			}
+		}
+	}
+	return r, nil
+}
+
+// shedCtl is one node's SLO controller: a windowed latency histogram read
+// at every window boundary, a shed probability stepped on breach/recovery,
+// and a per-node stream for the shed draws. All of its state advances in
+// the node's own arrival order, so both engines run the identical
+// controller trajectory.
+type shedCtl struct {
+	hist  *stats.Histogram
+	widx  int64 // current window index since scenario start
+	shedP float64
+	rng   *randgen.Stream
+	slo   workload.SLO
+	pol   workload.ShedPolicy
+	start simtime.Time
+}
+
+func newShedCtl(scn workload.Scenario, node int) *shedCtl {
+	return &shedCtl{
+		hist:  stats.NewHistogram(),
+		rng:   randgen.Split(scn.Seed, streamShedCtl^uint64(node)),
+		slo:   *scn.SLO,
+		pol:   *scn.Policies.Shed,
+		start: scn.Start,
+	}
+}
+
+// roll closes every window boundary the arrival crossed: a window whose
+// p99 (with enough samples) breached the target steps the shed probability
+// up; a healthy or sparse window steps it down — recovery releases the
+// brake, and an idle node decays to zero.
+func (ctl *shedCtl) roll(at simtime.Time) {
+	w := int64(at.Sub(ctl.start) / ctl.slo.Window)
+	for ctl.widx < w {
+		breached := ctl.hist.Count() >= int64(ctl.slo.SamplesFloor()) &&
+			ctl.hist.Quantile(99) > ctl.slo.P99
+		if breached {
+			if ctl.shedP += ctl.pol.Step; ctl.shedP > ctl.pol.Max {
+				ctl.shedP = ctl.pol.Max
+			}
+		} else if ctl.shedP > 0 {
+			if ctl.shedP -= ctl.pol.Step; ctl.shedP < 0 {
+				ctl.shedP = 0
+			}
+		}
+		ctl.hist.Reset()
+		ctl.widx++
+	}
+}
+
+// admit rolls the window to the arrival and draws the admission verdict.
+func (ctl *shedCtl) admit(at simtime.Time) bool {
+	ctl.roll(at)
+	if ctl.shedP > 0 && ctl.rng.Float64() < ctl.shedP {
+		return false
+	}
+	return true
+}
+
+// observe records a served latency into the arrival's window.
+func (ctl *shedCtl) observe(lat simtime.Duration) { ctl.hist.Record(lat) }
+
+// resAttempt is the resilience metadata riding with one emitted attempt.
+// The zero value marks a request outside the resilience layer.
+type resAttempt struct {
+	id        int64 // chain id (0 = not a resilient-class request)
+	cls       int32 // flattened class index (resilience.class)
+	attemptNo uint8
+	flags     uint8
+}
+
+const (
+	attErr     = 1 << iota // generation drew an error verdict: fail fast
+	attRetry               // this attempt is a retry
+	attHedge               // this attempt is a speculative read hedge
+	attCond                // fires only if the chain's previous attempt failed
+	attTracked             // a conditional successor exists: record the fate
+	attLast                // no successor was generated: failure is final
+)
+
+func (m resAttempt) is(f uint8) bool { return m.flags&f != 0 }
+
+// pendingAttempt is one not-yet-emitted retry or hedge in the expander's
+// heap.
+type pendingAttempt struct {
+	at        simtime.Time
+	seq       int64 // tie-break: insertion order
+	req       workload.Request
+	phase     int32
+	class     int32
+	id        int64
+	attemptNo int
+	cond      bool
+	hedge     bool
+	anchor    int32 // node index a conditional chain is pinned to
+}
+
+// retryHeap is a min-heap on (at, seq); seq makes same-instant ordering
+// deterministic.
+type retryHeap []pendingAttempt
+
+func (h retryHeap) less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at.Before(h[j].at)
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h *retryHeap) push(p pendingAttempt) {
+	*h = append(*h, p)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		(*h)[i], (*h)[parent] = (*h)[parent], (*h)[i]
+		i = parent
+	}
+}
+
+func (h *retryHeap) pop() pendingAttempt {
+	old := *h
+	top := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	*h = old[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && (*h).less(l, small) {
+			small = l
+		}
+		if r < n && (*h).less(r, small) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		(*h)[i], (*h)[small] = (*h)[small], (*h)[i]
+		i = small
+	}
+	return top
+}
+
+// resExpander turns the scenario's client-request stream into the attempt
+// stream: primaries, error/timeout retries, and hedges, merged by arrival
+// instant. It runs at generation time on one goroutine in both engines.
+type resExpander struct {
+	c      *Cluster
+	sr     *scenarioRun
+	heap   retryHeap
+	seq    int64
+	nextID int64
+	emit   func(req workload.Request, shard, inst, pc int32, meta resAttempt)
+}
+
+// backoffDelay computes retry k's delay (k = the retry's attempt number,
+// 1-based): Backoff·2^(k-1) stretched by the jitter draw. The draw happens
+// here — at generation, in emission order — whenever the policy has jitter.
+func (x *resExpander) backoffDelay(rc *resClass, k int) simtime.Duration {
+	d := rc.backoff << uint(k-1)
+	if rc.jitter > 0 {
+		d = simtime.Duration(float64(d) * (1 + rc.jitter*x.sr.res.jit.Float64()))
+	}
+	return d
+}
+
+// spawnRetry queues the chain's next attempt.
+func (x *resExpander) spawnRetry(p pendingAttempt, rc *resClass, delay simtime.Duration, cond bool, anchor int32) {
+	x.seq++
+	at := p.at.Add(delay)
+	req := p.req
+	req.At = at
+	x.heap.push(pendingAttempt{
+		at: at, seq: x.seq, req: req,
+		phase: p.phase, class: p.class, id: p.id,
+		attemptNo: p.attemptNo + 1, cond: cond, anchor: anchor,
+	})
+}
+
+// emitAttempt routes and emits one attempt, drawing its error verdict and
+// queueing its successors (retry, hedge). Returns false when the attempt
+// was dropped at routing or discarded as an unobservable conditional.
+func (x *resExpander) emitAttempt(p pendingAttempt) {
+	c, sr := x.c, x.sr
+	res := sr.res
+	rc := res.classFor(p.phase, p.class)
+	shard := c.router.ShardForKey(p.req.Key)
+	inst := 0
+	if sr.topo != nil {
+		var up bool
+		if inst, up = c.routeInstance(sr.topo, shard, p.at); !up {
+			// The whole chain is down: the client's connection is refused
+			// on the spot, so the retry (if any remain) is unconditional —
+			// generation knows this failure happened.
+			sr.routeDropped[c.chains[shard][0]]++
+			if rc.active && !p.hedge && p.attemptNo < rc.retries {
+				x.spawnRetry(p, rc, x.backoffDelay(rc, p.attemptNo+1), p.cond, p.anchor)
+			}
+			return
+		}
+	}
+	node := c.shards[shard].instances[inst].node.Index
+	if p.cond {
+		// A conditional (timeout-speculative) attempt is only evaluable on
+		// the node holding its chain's fate; re-routed conditionals are
+		// discarded, as are conditional writes diverted to a replica
+		// (their migration-manifest entry could not be trusted).
+		if int32(node) != p.anchor || (inst > 0 && p.req.Op == workload.OpWrite) {
+			return
+		}
+	}
+	meta := resAttempt{
+		id:        p.id,
+		cls:       int32(res.classOff[p.phase]) + p.class,
+		attemptNo: uint8(p.attemptNo),
+	}
+	if p.hedge {
+		// Hedges are immune to fault draws and spawn nothing: a pure
+		// speculative duplicate.
+		meta.flags |= attHedge
+		x.emit(p.req, int32(shard), int32(inst), sr.pcIndexAt(p.phase, p.class), meta)
+		return
+	}
+	if p.attemptNo > 0 {
+		meta.flags |= attRetry
+	}
+	if p.cond {
+		meta.flags |= attCond
+	}
+	err := false
+	if rate := res.faultRate(node, shard, p.at); rate > 0 && res.faults.Float64() < rate {
+		err = true
+		meta.flags |= attErr
+	}
+	if sr.topo != nil && inst > 0 && p.req.Op == workload.OpWrite && !err {
+		// Same manifest rule as the plain path: a write diverted past a
+		// down primary replays at its restore. Errored attempts never
+		// reach the service, so they leave no manifest entry; conditional
+		// writes never get here (discarded above when inst > 0).
+		if w := sr.topo.window(c.chains[shard][0], p.at); w != nil && w.manifest != nil {
+			w.manifest.add(int32(shard), p.req.Key, p.req.ValueBytes)
+		}
+	}
+	// Queue the successor. An error is generation-time knowledge, so the
+	// retry fires under the same condition this attempt did; a timeout is
+	// serve-time knowledge, so the retry is speculative — conditional on
+	// this attempt's fate, pinned to this node.
+	spawned := false
+	if rc.active && p.attemptNo < rc.retries {
+		if err {
+			x.spawnRetry(p, rc, x.backoffDelay(rc, p.attemptNo+1), p.cond, p.anchor)
+			spawned = true
+		} else if rc.timeout > 0 {
+			x.spawnRetry(p, rc, rc.timeout+x.backoffDelay(rc, p.attemptNo+1), true, int32(node))
+			spawned = true
+			meta.flags |= attTracked
+		}
+	}
+	if !spawned {
+		meta.flags |= attLast
+	}
+	if p.cond && spawned && !meta.is(attTracked) {
+		// An errored conditional's successor re-reads the same fate entry;
+		// keep it alive.
+		meta.flags |= attTracked
+	}
+	// Hedge the read: a speculative duplicate to the next live replica
+	// after the hedge delay. Always-on hedging — whether the primary
+	// already answered is another node's runtime state, which generation
+	// must not consult.
+	if rc.active && rc.hedge > 0 && p.attemptNo == 0 && !p.cond &&
+		p.req.Op == workload.OpRead && !err {
+		th := p.at.Add(rc.hedge)
+		for hi := range c.chains[shard] {
+			if hi == inst {
+				continue
+			}
+			if sr.topo != nil && !sr.topo.upAt(c.chains[shard][hi], th) {
+				continue
+			}
+			x.seq++
+			hreq := p.req
+			hreq.At = th
+			x.heap.push(pendingAttempt{
+				at: th, seq: x.seq, req: hreq,
+				phase: p.phase, class: p.class, id: p.id,
+				attemptNo: p.attemptNo, hedge: true,
+			})
+			break
+		}
+	}
+	x.emit(p.req, int32(shard), int32(inst), sr.pcIndexAt(p.phase, p.class), meta)
+}
+
+// generateResilient is generateScenario's expander path: it merges the
+// scenario driver's client requests with the pending retry/hedge heap in
+// arrival order, emitting the full attempt stream.
+func (c *Cluster) generateResilient(scn workload.Scenario, sr *scenarioRun,
+	emit func(req workload.Request, shard, inst, pc int32, meta resAttempt)) []workload.PhaseBound {
+	x := &resExpander{c: c, sr: sr, emit: emit}
+	d := workload.NewScenarioDriver(scn)
+	pending, ok := d.Next()
+	for ok || len(x.heap) > 0 {
+		// Earliest instant wins; a retry beats a client request at the
+		// same instant (it entered the system first).
+		if len(x.heap) > 0 && (!ok || !x.heap[0].at.After(pending.At)) {
+			x.emitAttempt(x.heap.pop())
+			continue
+		}
+		rc := sr.res.classFor(int32(pending.Phase), int32(pending.Class))
+		p := pendingAttempt{
+			at: pending.At, req: pending.Request,
+			phase: int32(pending.Phase), class: int32(pending.Class),
+		}
+		if rc.active {
+			x.nextID++
+			p.id = x.nextID
+		}
+		x.emitAttempt(p)
+		pending, ok = d.Next()
+	}
+	return d.Bounds()
+}

@@ -69,6 +69,13 @@ func (r ScenarioReport) Render() string {
 		fmt.Fprintf(&b, "topology: failovers=%d dropped=%d migrated=%s\n",
 			r.Failovers, r.Dropped, fmtBytes(r.MigratedBytes))
 	}
+	if r.resilienceActive() {
+		fmt.Fprintf(&b, "resilience: retries=%d timeouts=%d errors=%d hedges=%d shed=%d failed=%d\n",
+			r.Retries, r.Timeouts, r.Errors, r.Hedges, r.Shed, r.Failed)
+		if r.SLOTarget > 0 {
+			fmt.Fprintf(&b, "slo: p99<=%v compliance=%.2f%%\n", r.SLOTarget, r.SLOCompliance*100)
+		}
+	}
 	for _, p := range r.Phases {
 		fmt.Fprintf(&b, "phase %-12s [%v → %v] requests=%d\n  %s\n",
 			p.Name, p.Start, p.End, p.Requests, p.Latency)
@@ -84,6 +91,10 @@ func (r ScenarioReport) Render() string {
 		if n.Downtime > 0 || n.Failovers > 0 || n.Dropped > 0 || n.MigratedBytes > 0 {
 			fmt.Fprintf(&b, "    topology: downtime=%v failovers=%d dropped=%d migrated=%s\n",
 				n.Downtime, n.Failovers, n.Dropped, fmtBytes(n.MigratedBytes))
+		}
+		if n.Retries > 0 || n.Timeouts > 0 || n.Errors > 0 || n.Hedges > 0 || n.Shed > 0 || n.Failed > 0 || r.SLOTarget > 0 {
+			fmt.Fprintf(&b, "    resilience: retries=%d timeouts=%d errors=%d hedges=%d shed=%d failed=%d compliance=%.2f%%\n",
+				n.Retries, n.Timeouts, n.Errors, n.Hedges, n.Shed, n.Failed, n.SLOCompliance*100)
 		}
 	}
 	return b.String()
@@ -132,6 +143,19 @@ type scenarioRun struct {
 	routeDropped []int64 // drops at routing, charged to the primary
 	qdropped     []int64 // backlog drops at a drop-policy kill
 	migrated     []int64 // bytes restores re-filled into a node's shards
+	// res is the compiled resilience layer, nil when the scenario has no
+	// soft-fault events, class policies or SLO. Its counters and state
+	// follow the same ownership rule as the topology counters: a node
+	// goroutine only ever touches its own slot.
+	res      *resilience
+	retries  []int64          // retry attempts that actually fired
+	timeouts []int64          // served attempts whose latency beat the class deadline
+	errors   []int64          // attempts failed fast by a fault window
+	hedges   []int64          // speculative read hedges sent
+	shed     []int64          // attempts rejected by admission control
+	failed   []int64          // chains exhausted without a successful attempt
+	fates    []map[int64]bool // per node: chain id → last attempt failed
+	ctl      []*shedCtl       // per node, nil without a shed policy
 }
 
 // validateScenario checks the scenario against this cluster: the scenario
@@ -155,18 +179,38 @@ func (c *Cluster) validateScenario(scn workload.Scenario) error {
 	return nil
 }
 
-func (c *Cluster) newScenarioRun(scn workload.Scenario, topo *topology) *scenarioRun {
+func (c *Cluster) newScenarioRun(scn workload.Scenario, topo *topology, res *resilience) *scenarioRun {
 	sr := &scenarioRun{
 		st:     c.newRunState(),
 		events: make([][]nodeEvent, len(c.nodes)),
 		cursor: make([]int, len(c.nodes)),
 		topo:   topo,
+		res:    res,
 	}
 	if topo != nil {
 		sr.failover = make([]int64, len(c.nodes))
 		sr.routeDropped = make([]int64, len(c.nodes))
 		sr.qdropped = make([]int64, len(c.nodes))
 		sr.migrated = make([]int64, len(c.nodes))
+	}
+	if res != nil {
+		sr.retries = make([]int64, len(c.nodes))
+		sr.timeouts = make([]int64, len(c.nodes))
+		sr.errors = make([]int64, len(c.nodes))
+		sr.hedges = make([]int64, len(c.nodes))
+		sr.shed = make([]int64, len(c.nodes))
+		sr.failed = make([]int64, len(c.nodes))
+		sr.fates = make([]map[int64]bool, len(c.nodes))
+		for i := range sr.fates {
+			sr.fates[i] = make(map[int64]bool)
+		}
+		sr.st.degrade = res.degrade
+		if res.shed != nil {
+			sr.ctl = make([]*shedCtl, len(c.nodes))
+			for i := range sr.ctl {
+				sr.ctl[i] = newShedCtl(scn, i)
+			}
+		}
 	}
 	if len(scn.Phases) > 1 || len(scn.Phases[0].Classes) > 1 {
 		for _, p := range scn.Phases {
@@ -296,6 +340,10 @@ func (c *Cluster) applyEvent(sr *scenarioRun, n *Node, ne nodeEvent) {
 		if w := sr.topo.windowEndingAt(n.Index, ne.at); w != nil {
 			sr.migrated[n.Index] += c.replayMigration(w.manifest)
 		}
+	case workload.EventDegradeNode, workload.EventHealNode, workload.EventFaultWindow:
+		// Soft faults are schedule-driven (resilience.go compiles them up
+		// front, like the outage schedule): nothing to do at the firing
+		// instant itself.
 	}
 }
 
@@ -308,20 +356,90 @@ func (sr *scenarioRun) pcIndex(req workload.ScenarioRequest) int32 {
 	return int32(sr.pcOff[req.Phase] + req.Class)
 }
 
-// serveScenario fires the serving node's due events, serves the request
-// through the shared serve path, and segments the recorded latency into the
-// request's (phase, class, node) cell. inst is the replica-chain position
-// routing picked (0 — the primary — whenever the scenario has no topology
-// events).
-func (c *Cluster) serveScenario(sr *scenarioRun, shardID int, inst, pcIdx int32, req workload.Request) {
+// pcIndexAt is pcIndex on bare (phase, class) indices, for the resilience
+// expander's retries and hedges.
+func (sr *scenarioRun) pcIndexAt(phase, class int32) int32 {
+	if sr.pc == nil {
+		return -1
+	}
+	return int32(sr.pcOff[phase]) + class
+}
+
+// setFate records a chain attempt's outcome in the serving node's fate
+// table, but only when a conditional successor will read it (attTracked);
+// everything else would be dead state.
+func (sr *scenarioRun) setFate(node int, meta resAttempt, failed bool) {
+	if meta.is(attTracked) {
+		sr.fates[node][meta.id] = failed
+	}
+}
+
+// serveScenario fires the serving node's due events, runs the resilience
+// layer's node-local checks (conditional-retry fate, admission control,
+// fail-fast errors), serves the request through the shared serve path, and
+// segments the recorded latency into the request's (phase, class, node)
+// cell. inst is the replica-chain position routing picked (0 — the primary
+// — whenever the scenario has no topology events). Every decision here
+// depends only on the node's own arrival-ordered state, which is what
+// keeps the two engines bit-identical.
+func (c *Cluster) serveScenario(sr *scenarioRun, shardID int, inst, pcIdx int32, req workload.Request, meta resAttempt) {
 	in := c.shards[shardID].instances[inst]
 	n := in.node
 	c.fireEventsUpTo(sr, n, req.At)
+	// A request is inside the resilience layer when it belongs to a chain
+	// (id != 0) or carries a verdict flag (a fault-window error on a
+	// policy-less class).
+	resilient := meta.id != 0 || meta.flags != 0
+	if meta.id != 0 && meta.is(attCond) {
+		// Speculative timeout retry: fires only if the chain's previous
+		// attempt failed here. Either way the fate entry is consumed.
+		failed := sr.fates[n.Index][meta.id]
+		if !meta.is(attTracked) {
+			delete(sr.fates[n.Index], meta.id)
+		}
+		if !failed {
+			return // the previous attempt succeeded: never sent
+		}
+	}
+	if resilient {
+		if meta.is(attRetry) {
+			sr.retries[n.Index]++
+		}
+		if meta.is(attHedge) {
+			sr.hedges[n.Index]++
+		}
+	}
+	if sr.ctl != nil {
+		// SLO admission control, before the request can queue. A shed
+		// attempt terminates its chain: brownout clients must not pile
+		// retries onto a node that just told them to back off.
+		if ctl := sr.ctl[n.Index]; !ctl.admit(req.At) {
+			sr.shed[n.Index]++
+			if resilient && !meta.is(attHedge) {
+				sr.setFate(n.Index, meta, false)
+			}
+			return
+		}
+	}
+	if resilient && meta.is(attErr) {
+		// Fault-window error: fail fast, no service work, no clock cost.
+		sr.errors[n.Index]++
+		sr.setFate(n.Index, meta, true)
+		if meta.is(attLast) {
+			sr.failed[n.Index]++
+		}
+		return
+	}
 	if sr.topo != nil {
 		if sr.topo.dropsQueued(n.Index, req.At, n.sched.Now()) {
 			// A drop-policy kill severed the backlog this request was
-			// queued in: count it, serve nothing.
+			// queued in: count it, serve nothing. The client sees a dead
+			// connection — a timeout-speculative retry (if one exists)
+			// will fire.
 			sr.qdropped[n.Index]++
+			if resilient && !meta.is(attHedge) {
+				sr.setFate(n.Index, meta, true)
+			}
 			return
 		}
 		if inst > 0 {
@@ -329,6 +447,20 @@ func (c *Cluster) serveScenario(sr *scenarioRun, shardID int, inst, pcIdx int32,
 		}
 	}
 	lat := c.serveOn(sr.st, shardID, int(inst), req)
+	if sr.ctl != nil {
+		sr.ctl[n.Index].observe(lat)
+	}
+	if resilient && !meta.is(attHedge) {
+		timedOut := false
+		if rc := &sr.res.class[meta.cls]; rc.timeout > 0 && lat > rc.timeout {
+			timedOut = true
+			sr.timeouts[n.Index]++
+			if meta.is(attLast) {
+				sr.failed[n.Index]++
+			}
+		}
+		sr.setFate(n.Index, meta, timedOut)
+	}
 	if pcIdx < 0 { // single-cell scenario: the base digests cover it
 		return
 	}
@@ -356,10 +488,14 @@ func (c *Cluster) RunScenario(scn workload.Scenario) (ScenarioReport, error) {
 	if err != nil {
 		return ScenarioReport{}, err
 	}
-	if c.cfg.Sequential || len(c.nodes) == 1 {
-		return c.runScenarioSequential(scn, topo), nil
+	res, err := c.newResilience(scn)
+	if err != nil {
+		return ScenarioReport{}, err
 	}
-	return c.runScenarioParallel(scn, topo), nil
+	if c.cfg.Sequential || len(c.nodes) == 1 {
+		return c.runScenarioSequential(scn, topo, res), nil
+	}
+	return c.runScenarioParallel(scn, topo, res), nil
 }
 
 // generateScenario pulls the scenario's request stream, routing each
@@ -373,8 +509,8 @@ func (c *Cluster) RunScenario(scn workload.Scenario) (ScenarioReport, error) {
 // later). Requests whose whole replica chain is down never reach emit —
 // they are counted against the primary and dropped here, at routing.
 func (c *Cluster) generateScenario(scn workload.Scenario, sr *scenarioRun,
-	emit func(req workload.Request, shard, inst, pc int32)) []workload.PhaseBound {
-	if flat, ok := scn.FlatLoad(); ok && sr.topo == nil {
+	emit func(req workload.Request, shard, inst, pc int32, meta resAttempt)) []workload.PhaseBound {
+	if flat, ok := scn.FlatLoad(); ok && sr.topo == nil && sr.res == nil {
 		d := workload.NewLoadDriver(flat)
 		bound := workload.PhaseBound{Start: flat.Start, End: flat.Start}
 		for {
@@ -382,11 +518,16 @@ func (c *Cluster) generateScenario(scn workload.Scenario, sr *scenarioRun,
 			if !ok {
 				break
 			}
-			emit(req, int32(c.router.ShardForKey(req.Key)), 0, -1)
+			emit(req, int32(c.router.ShardForKey(req.Key)), 0, -1, resAttempt{})
 			bound.End = req.At
 			bound.Requests++
 		}
 		return []workload.PhaseBound{bound}
+	}
+	if sr.res != nil && sr.res.anyPolicy {
+		// Classes with resilience policies expand into attempt chains
+		// (retries, hedges) merged with the base stream.
+		return c.generateResilient(scn, sr, emit)
 	}
 	d := workload.NewScenarioDriver(scn)
 	for {
@@ -410,29 +551,39 @@ func (c *Cluster) generateScenario(scn workload.Scenario, sr *scenarioRun,
 				}
 			}
 		}
-		emit(req.Request, int32(shard), int32(inst), sr.pcIndex(req))
+		var meta resAttempt
+		if sr.res != nil {
+			// No policies, but fault windows (or an SLO) may still be
+			// active: draw the error verdict for this request.
+			node := c.shards[shard].instances[inst].node.Index
+			if rate := sr.res.faultRate(node, shard, req.At); rate > 0 && sr.res.faults.Float64() < rate {
+				meta = resAttempt{flags: attErr | attLast}
+			}
+		}
+		emit(req.Request, int32(shard), int32(inst), sr.pcIndex(req), meta)
 	}
 	return d.Bounds()
 }
 
 // runScenarioSequential executes the scenario on one goroutine in global
 // arrival order, streaming the generation with O(1) workload memory.
-func (c *Cluster) runScenarioSequential(scn workload.Scenario, topo *topology) ScenarioReport {
-	sr := c.newScenarioRun(scn, topo)
-	bounds := c.generateScenario(scn, sr, func(req workload.Request, shard, inst, pc int32) {
-		c.serveScenario(sr, int(shard), inst, pc, req)
+func (c *Cluster) runScenarioSequential(scn workload.Scenario, topo *topology, res *resilience) ScenarioReport {
+	sr := c.newScenarioRun(scn, topo, res)
+	bounds := c.generateScenario(scn, sr, func(req workload.Request, shard, inst, pc int32, meta resAttempt) {
+		c.serveScenario(sr, int(shard), inst, pc, req, meta)
 	})
 	return c.finishScenario(sr, scn, bounds)
 }
 
 // routedScenarioReq is one scenario request bound to its shard, the
-// replica-chain instance serving it, and its segmentation cell — the unit
-// of the per-node partition.
+// replica-chain instance serving it, its segmentation cell, and its
+// resilience metadata — the unit of the per-node partition.
 type routedScenarioReq struct {
 	req   workload.Request
 	shard int32
 	inst  int32
 	pc    int32
+	meta  resAttempt
 }
 
 // runScenarioParallel partitions the stream per node and executes each
@@ -440,7 +591,7 @@ type routedScenarioReq struct {
 // are node-local, so each goroutine fires its own node's timeline at the
 // same per-node points as the sequential engine and the report is
 // bit-identical.
-func (c *Cluster) runScenarioParallel(scn workload.Scenario, topo *topology) ScenarioReport {
+func (c *Cluster) runScenarioParallel(scn workload.Scenario, topo *topology, res *resilience) ScenarioReport {
 	perNode := make([][]routedScenarioReq, len(c.nodes))
 	var budget int64
 	for _, p := range scn.Phases {
@@ -457,13 +608,15 @@ func (c *Cluster) runScenarioParallel(scn workload.Scenario, topo *topology) Sce
 			perNode[i] = make([]routedScenarioReq, 0, per)
 		}
 	}
-	sr := c.newScenarioRun(scn, topo)
-	bounds := c.generateScenario(scn, sr, func(req workload.Request, shard, inst, pc int32) {
+	sr := c.newScenarioRun(scn, topo, res)
+	bounds := c.generateScenario(scn, sr, func(req workload.Request, shard, inst, pc int32, meta resAttempt) {
 		// Partition by the SERVING node: failover hands the request to
 		// the replica's goroutine, preserving arrival order within every
-		// node — which is all a node can observe.
+		// node — which is all a node can observe. Resilience attempts
+		// (retries, hedges, conditional records) partition the same way:
+		// their fate checks are node-local by construction.
 		node := c.shards[shard].instances[inst].node.Index
-		perNode[node] = append(perNode[node], routedScenarioReq{req: req, shard: shard, inst: inst, pc: pc})
+		perNode[node] = append(perNode[node], routedScenarioReq{req: req, shard: shard, inst: inst, pc: pc, meta: meta})
 	})
 
 	var wg sync.WaitGroup
@@ -478,7 +631,7 @@ func (c *Cluster) runScenarioParallel(scn workload.Scenario, topo *topology) Sce
 		go func() {
 			defer wg.Done()
 			for _, rr := range reqs {
-				c.serveScenario(sr, int(rr.shard), rr.inst, rr.pc, rr.req)
+				c.serveScenario(sr, int(rr.shard), rr.inst, rr.pc, rr.req, rr.meta)
 			}
 		}()
 	}
@@ -511,6 +664,53 @@ func (c *Cluster) finishScenario(sr *scenarioRun, scn workload.Scenario, bounds 
 	}
 
 	rep := ScenarioReport{Name: scn.Name, Report: c.finish(sr.st)}
+	if sr.res != nil {
+		for ni := range c.nodes {
+			nr := &rep.PerNode[ni]
+			nr.Retries = sr.retries[ni]
+			nr.Timeouts = sr.timeouts[ni]
+			nr.Errors = sr.errors[ni]
+			nr.Hedges = sr.hedges[ni]
+			nr.Shed = sr.shed[ni]
+			nr.Failed = sr.failed[ni]
+			nr.SLOCompliance = 1
+			rep.Retries += nr.Retries
+			rep.Timeouts += nr.Timeouts
+			rep.Errors += nr.Errors
+			rep.Hedges += nr.Hedges
+			rep.Shed += nr.Shed
+			rep.Failed += nr.Failed
+		}
+		rep.SLOCompliance = 1
+		if slo := sr.res.slo; slo != nil {
+			// Compliance counts served requests at or under the target,
+			// assembled from the run-local instance digests exactly as the
+			// node digests were — counts, not averaged ratios, so the
+			// aggregate is exact.
+			rep.SLOTarget = slo.P99
+			var totalCount, totalAbove int64
+			for ni, n := range c.nodes {
+				var count, above int64
+				for _, sh := range c.shards {
+					for inst := range sh.instances {
+						if sh.instances[inst].node == n {
+							rec := sr.st.shard[sh.ID][inst]
+							count += int64(rec.Count())
+							above += rec.CountAbove(slo.P99)
+						}
+					}
+				}
+				if count > 0 {
+					rep.PerNode[ni].SLOCompliance = 1 - float64(above)/float64(count)
+				}
+				totalCount += count
+				totalAbove += above
+			}
+			if totalCount > 0 {
+				rep.SLOCompliance = 1 - float64(totalAbove)/float64(totalCount)
+			}
+		}
+	}
 	if sr.topo != nil {
 		// Every node sits on the common settle horizon after finish, and
 		// the drain above fired every event, so the horizon bounds every

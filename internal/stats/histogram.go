@@ -167,6 +167,20 @@ func (h *Histogram) CountAbove(d time.Duration) int64 {
 	return above
 }
 
+// Reset empties the histogram while keeping its bucket array allocated —
+// the windowed-readout primitive: a controller records a window's samples,
+// reads a quantile at the window boundary, and resets for the next window
+// without reallocating.
+func (h *Histogram) Reset() {
+	for i := range h.counts {
+		h.counts[i] = 0
+	}
+	h.count = 0
+	h.sum = 0
+	h.min = 0
+	h.max = 0
+}
+
 // Merge adds o's samples into h in O(buckets).
 func (h *Histogram) Merge(o *Histogram) {
 	if o == nil || o.count == 0 {

@@ -178,6 +178,22 @@ func (r *Recorder) Min() time.Duration {
 	return r.samples[0]
 }
 
+// CountAbove returns how many samples fell strictly above d. Exact in raw
+// mode; streaming mode resolves the threshold to bucket granularity.
+// Summing counts across recorders gives an exact aggregate ratio, which a
+// float ViolationRatio average would not.
+func (r *Recorder) CountAbove(d time.Duration) int64 {
+	if r.hist != nil {
+		return r.hist.CountAbove(d)
+	}
+	if len(r.samples) == 0 {
+		return 0
+	}
+	r.ensureSorted()
+	idx := sort.Search(len(r.samples), func(i int) bool { return r.samples[i] > d })
+	return int64(len(r.samples) - idx)
+}
+
 // ViolationRatio returns the fraction of samples strictly above slo — the
 // paper's SLO-violation metric (Figs 13, 14). Exact in raw mode; streaming
 // mode resolves the threshold to bucket granularity.

@@ -142,6 +142,63 @@ type TrafficClass struct {
 	// Generator selects the sampling machinery; empty means the
 	// process-wide default.
 	Generator Generator
+	// Resilience optionally gives the class's clients a timeout / retry /
+	// hedging policy (nil = fire-and-forget clients, the previous
+	// behavior).
+	Resilience *Resilience
+}
+
+// Resilience is a traffic class's client-side failure-handling policy. All
+// of it is executed in virtual time by the cluster engine: retries and
+// hedges re-enter routing as fresh arrival instants, and every stochastic
+// choice (backoff jitter, fault draws) comes from its own domain-separated
+// stream — so resilient scenarios replay bit-identically on both engines.
+// Durations here are latency-domain (client deadlines measured against
+// service latency), so Scenario.Scaled leaves them untouched.
+type Resilience struct {
+	// Timeout is the client's per-attempt deadline; an attempt whose
+	// latency exceeds it counts as timed out (the server still finishes
+	// the work — the client just stops waiting). 0 = no deadline.
+	Timeout simtime.Duration
+	// Retries bounds how many times the client retries a failed attempt
+	// (error, timeout, or dropped connection). 0 = no retries.
+	Retries int
+	// Backoff is the base retry delay: retry k (1-based) waits
+	// Backoff·2^(k-1)·(1+jitter) after the failure is observed. Required
+	// when Retries > 0.
+	Backoff simtime.Duration
+	// Jitter is the multiplicative backoff jitter amplitude in [0, 1):
+	// each retry's delay is stretched by a factor drawn uniformly from
+	// [1, 1+Jitter).
+	Jitter float64
+	// Hedge, when > 0, fires a speculative duplicate of each read to the
+	// next live replica of its shard after this much waiting — tail-latency
+	// hedging. Writes are never hedged (a duplicated write would corrupt
+	// the store-conservation contract). Requires shard replicas to bite.
+	Hedge simtime.Duration
+}
+
+// Validate reports whether the policy is well-formed.
+func (r Resilience) Validate() error {
+	if r.Timeout < 0 {
+		return fmt.Errorf("resilience Timeout must be >= 0 (got %v)", r.Timeout)
+	}
+	if r.Retries < 0 {
+		return fmt.Errorf("resilience Retries must be >= 0 (got %d)", r.Retries)
+	}
+	if r.Retries > 0 && r.Backoff <= 0 {
+		return fmt.Errorf("resilience Backoff must be > 0 when Retries > 0 (got %v)", r.Backoff)
+	}
+	if r.Backoff < 0 {
+		return fmt.Errorf("resilience Backoff must be >= 0 (got %v)", r.Backoff)
+	}
+	if r.Jitter < 0 || r.Jitter >= 1 {
+		return fmt.Errorf("resilience Jitter must be in [0, 1) (got %v)", r.Jitter)
+	}
+	if r.Hedge < 0 {
+		return fmt.Errorf("resilience Hedge must be >= 0 (got %v)", r.Hedge)
+	}
+	return nil
 }
 
 // loadConfig lowers the class onto the LoadDriver's config for the given
@@ -225,6 +282,22 @@ const (
 	// handoff for RocksDB, a per-key re-fill through the allocator for
 	// Redis). Requires an explicit Node index.
 	EventRestoreNode EventKind = "restore-node"
+	// EventDegradeNode multiplies the target nodes' raw service latency by
+	// the event's Factor from the firing instant until a matching
+	// heal-node — a brownout: the node keeps serving, just slower. A
+	// second degrade on an already-degraded node replaces the factor.
+	EventDegradeNode EventKind = "degrade-node"
+	// EventHealNode ends a degrade window, restoring the target nodes'
+	// native service latency. Requires a preceding degrade on each target.
+	EventHealNode EventKind = "heal-node"
+	// EventFaultWindow opens an error burst: for Duration after the firing
+	// instant, each request routed to the target node (or, when Shard is
+	// set, the target shard) fails fast with probability ErrorRate, drawn
+	// from a dedicated domain-separated stream at generation time. Errored
+	// requests consume no service time and trigger client retries where
+	// the class's Resilience policy allows. Overlapping windows compound
+	// probabilistically (1 − Π(1−rateᵢ)).
+	EventFaultWindow EventKind = "fault-window"
 )
 
 // KillPolicy selects what a killed node does with requests that were queued
@@ -268,6 +341,17 @@ type Event struct {
 	// Policy selects the backlog fate for EventKillNode (empty =
 	// KillDrain).
 	Policy KillPolicy
+	// Factor is EventDegradeNode's service-latency multiplier (> 1).
+	Factor float64
+	// ErrorRate is EventFaultWindow's per-request failure probability,
+	// in (0, 1].
+	ErrorRate float64
+	// Duration is EventFaultWindow's length on the virtual timeline.
+	Duration simtime.Duration
+	// Shard optionally scopes EventFaultWindow to one shard instead of a
+	// node; the event's Node must then be -1 (a window targets a node or
+	// a shard, never both).
+	Shard *int
 }
 
 // KillPolicyKind resolves the event's kill policy, defaulting to KillDrain
@@ -325,12 +409,38 @@ func (e Event) Validate() error {
 		if e.Node < 0 {
 			return fmt.Errorf("restore-node needs an explicit Node index (got %d)", e.Node)
 		}
+	case EventDegradeNode:
+		if e.Factor <= 1 {
+			return fmt.Errorf("degrade-node Factor must be > 1 (got %v; 1 is native speed)", e.Factor)
+		}
+	case EventHealNode:
+	case EventFaultWindow:
+		if e.ErrorRate <= 0 || e.ErrorRate > 1 {
+			return fmt.Errorf("fault-window ErrorRate must be in (0, 1] (got %v)", e.ErrorRate)
+		}
+		if e.Duration <= 0 {
+			return fmt.Errorf("fault-window Duration must be > 0 (got %v)", e.Duration)
+		}
+		if e.Shard != nil {
+			if *e.Shard < 0 {
+				return fmt.Errorf("fault-window Shard must be a shard index (got %d)", *e.Shard)
+			}
+			if e.Node != -1 {
+				return fmt.Errorf("fault-window targets a node or a shard, not both (got Node=%d with Shard=%d; set Node to -1)", e.Node, *e.Shard)
+			}
+		}
 	case EventPressureStop, EventBatchStop, EventDaemonStop, EventSqueezeStop:
 	default:
 		return fmt.Errorf("unknown event kind %q", e.Kind)
 	}
 	if e.Policy != "" && e.Kind != EventKillNode {
 		return fmt.Errorf("Policy applies only to kill-node events (got %q on %s)", e.Policy, e.Kind)
+	}
+	if e.Factor != 0 && e.Kind != EventDegradeNode {
+		return fmt.Errorf("Factor applies only to degrade-node events (got %v on %s)", e.Factor, e.Kind)
+	}
+	if (e.ErrorRate != 0 || e.Duration != 0 || e.Shard != nil) && e.Kind != EventFaultWindow {
+		return fmt.Errorf("ErrorRate/Duration/Shard apply only to fault-window events (got them on %s)", e.Kind)
 	}
 	return nil
 }
@@ -352,6 +462,95 @@ type Scenario struct {
 	// Events is the timeline; order is irrelevant (fires sorted by At,
 	// ties by declaration order).
 	Events []Event
+	// SLO optionally declares the scenario's latency objective; reports
+	// then carry SLO-compliance columns, and Policies (if set) act on
+	// breaches.
+	SLO *SLO
+	// Policies optionally configures the adaptive control plane that
+	// reacts to SLO breaches. Requires SLO.
+	Policies *Policies
+}
+
+// SLO declares a latency objective the scenario is judged (and, with
+// Policies, controlled) against.
+type SLO struct {
+	// P99 is the target 99th-percentile service latency. Latency-domain:
+	// Scenario.Scaled leaves it untouched.
+	P99 simtime.Duration
+	// Window is the controller's sampling window on the virtual timeline:
+	// each node closes a window every Window of virtual time and compares
+	// that window's p99 against the target. Timeline-domain: it scales.
+	Window simtime.Duration
+	// MinSamples is the minimum number of served requests a window needs
+	// before its p99 can flip the controller (0 = default 16). Sparse
+	// windows neither engage nor hold shedding.
+	MinSamples int
+}
+
+// Validate reports whether the objective is well-formed.
+func (s SLO) Validate() error {
+	if s.P99 <= 0 {
+		return fmt.Errorf("slo P99 must be > 0 (got %v)", s.P99)
+	}
+	if s.Window <= 0 {
+		return fmt.Errorf("slo Window must be > 0 (got %v)", s.Window)
+	}
+	if s.MinSamples < 0 {
+		return fmt.Errorf("slo MinSamples must be >= 0 (got %d)", s.MinSamples)
+	}
+	return nil
+}
+
+// SamplesFloor resolves MinSamples, defaulting to 16 so the zero value
+// works.
+func (s SLO) SamplesFloor() int {
+	if s.MinSamples == 0 {
+		return 16
+	}
+	return s.MinSamples
+}
+
+// Policies is the scenario's adaptive control plane: what the cluster does
+// when the SLO is breached.
+type Policies struct {
+	// Shed enables per-node probabilistic load shedding.
+	Shed *ShedPolicy
+}
+
+// Validate reports whether the policy block is well-formed.
+func (p Policies) Validate() error {
+	if p.Shed == nil {
+		return fmt.Errorf("policies needs at least one policy (shed)")
+	}
+	return p.Shed.Validate()
+}
+
+// ShedPolicy is SLO-driven admission control: when a node's windowed p99
+// breaches the target, the node starts rejecting a fraction of incoming
+// requests before they queue, stepping the fraction up each breached window
+// and back down each healthy one — graceful degradation instead of
+// collapse. Shed decisions draw from a per-node domain-separated stream in
+// per-node arrival order, so both engines shed the identical requests.
+type ShedPolicy struct {
+	// Step is the shed-probability increment per breached window (and the
+	// decrement per healthy one), in (0, 1].
+	Step float64
+	// Max caps the shed probability, in (0, 1].
+	Max float64
+}
+
+// Validate reports whether the policy is well-formed.
+func (p ShedPolicy) Validate() error {
+	if p.Step <= 0 || p.Step > 1 {
+		return fmt.Errorf("shed Step must be in (0, 1] (got %v)", p.Step)
+	}
+	if p.Max <= 0 || p.Max > 1 {
+		return fmt.Errorf("shed Max must be in (0, 1] (got %v)", p.Max)
+	}
+	if p.Step > p.Max {
+		return fmt.Errorf("shed Step must be <= Max (got Step=%v Max=%v)", p.Step, p.Max)
+	}
+	return nil
 }
 
 // Validate reports whether the scenario is well-formed, locating every
@@ -384,11 +583,29 @@ func (s Scenario) Validate() error {
 			if err := cfg.Validate(); err != nil {
 				return fmt.Errorf("%s class %d (%q): %w", where, ci, tc.Name, err)
 			}
+			if tc.Resilience != nil {
+				if err := tc.Resilience.Validate(); err != nil {
+					return fmt.Errorf("%s class %d (%q): %w", where, ci, tc.Name, err)
+				}
+			}
 		}
 	}
 	for ei, e := range s.Events {
 		if err := e.Validate(); err != nil {
 			return fmt.Errorf("scenario %q event %d (%s): %w", s.Name, ei, e.Kind, err)
+		}
+	}
+	if s.SLO != nil {
+		if err := s.SLO.Validate(); err != nil {
+			return fmt.Errorf("scenario %q: %w", s.Name, err)
+		}
+	}
+	if s.Policies != nil {
+		if s.SLO == nil {
+			return fmt.Errorf("scenario %q: Policies requires an SLO to act on", s.Name)
+		}
+		if err := s.Policies.Validate(); err != nil {
+			return fmt.Errorf("scenario %q: %w", s.Name, err)
 		}
 	}
 	return nil
@@ -415,9 +632,13 @@ func (s Scenario) End() simtime.Time {
 // by f — the CLI's way of shrinking a committed preset onto a CI budget
 // (or stretching it for a long soak). Durations nested in event payloads
 // (a batch config's work duration and tick period, a pressure generator's
-// period) scale too, so the machinery a shrunken timeline starts still
-// fits inside its shrunken window. Rates and tick counts are untouched;
-// budgets keep a floor of one request so no phase vanishes.
+// period, a fault window's length) scale too, so the machinery a shrunken
+// timeline starts still fits inside its shrunken window, as do the SLO
+// controller's window and sample floor. Rates and tick counts are
+// untouched; budgets keep a floor of one request so no phase vanishes.
+// Latency-domain durations — Resilience timeouts/backoffs/hedges and the
+// SLO's p99 target — do NOT scale: service latencies are scale-invariant,
+// so scaling client deadlines would change what the scenario measures.
 func (s Scenario) Scaled(f float64) Scenario {
 	if f <= 0 {
 		panic(fmt.Sprintf("workload: scenario scale must be > 0 (got %v)", f))
@@ -449,6 +670,7 @@ func (s Scenario) Scaled(f float64) Scenario {
 	for i := range out.Events {
 		e := &out.Events[i]
 		e.At = scaleDur(e.At)
+		e.Duration = scaleDur(e.Duration)
 		// Deep-copy payload configs before scaling them: the input
 		// scenario's events must stay untouched.
 		if e.Pressure != nil {
@@ -462,6 +684,27 @@ func (s Scenario) Scaled(f float64) Scenario {
 			bcfg.TickPeriod = scaleDur(bcfg.TickPeriod)
 			e.Batch = &bcfg
 		}
+	}
+	if s.SLO != nil {
+		slo := *s.SLO
+		slo.Window = scaleDur(slo.Window)
+		// The sample floor shrinks with the window (requests per window =
+		// rate × window, and rates don't scale), floored at one so the
+		// controller still bites at CI scales.
+		if floor := int(float64(slo.SamplesFloor()) * f); floor >= 1 {
+			slo.MinSamples = floor
+		} else {
+			slo.MinSamples = 1
+		}
+		out.SLO = &slo
+	}
+	if s.Policies != nil {
+		pol := *s.Policies
+		if pol.Shed != nil {
+			shed := *pol.Shed
+			pol.Shed = &shed
+		}
+		out.Policies = &pol
 	}
 	return out
 }
@@ -501,11 +744,11 @@ func ScenarioFromLoad(cfg LoadConfig) Scenario {
 // flat runs. The event timeline is unaffected (it never flows through the
 // request stream).
 func (s Scenario) FlatLoad() (LoadConfig, bool) {
-	if len(s.Phases) != 1 {
+	if len(s.Phases) != 1 || s.SLO != nil || s.Policies != nil {
 		return LoadConfig{}, false
 	}
 	p := s.Phases[0]
-	if len(p.Classes) != 1 || p.Duration > 0 || p.Requests <= 0 || p.Shape.ShapeKind() != ShapeConstant {
+	if len(p.Classes) != 1 || p.Duration > 0 || p.Requests <= 0 || p.Shape.ShapeKind() != ShapeConstant || p.Classes[0].Resilience != nil {
 		return LoadConfig{}, false
 	}
 	return p.Classes[0].loadConfig(s.Seed, s.Start, p.Requests), true

@@ -47,10 +47,27 @@ type scenarioJSON struct {
 	Name string `json:"name"`
 	// Seed is a pointer so an explicit 0 survives the round trip while an
 	// absent field still defaults to 1.
-	Seed   *uint64     `json:"seed,omitempty"`
-	Start  jsonDur     `json:"start,omitempty"`
-	Phases []phaseJSON `json:"phases"`
-	Events []eventJSON `json:"events,omitempty"`
+	Seed     *uint64       `json:"seed,omitempty"`
+	Start    jsonDur       `json:"start,omitempty"`
+	Phases   []phaseJSON   `json:"phases"`
+	Events   []eventJSON   `json:"events,omitempty"`
+	SLO      *sloJSON      `json:"slo,omitempty"`
+	Policies *policiesJSON `json:"policies,omitempty"`
+}
+
+type sloJSON struct {
+	P99        jsonDur `json:"p99"`
+	Window     jsonDur `json:"window"`
+	MinSamples int     `json:"min_samples,omitempty"`
+}
+
+type policiesJSON struct {
+	Shed *shedJSON `json:"shed,omitempty"`
+}
+
+type shedJSON struct {
+	Step float64 `json:"step"`
+	Max  float64 `json:"max"`
 }
 
 type phaseJSON struct {
@@ -62,13 +79,22 @@ type phaseJSON struct {
 }
 
 type classJSON struct {
-	Name       string  `json:"name"`
-	Rate       float64 `json:"rate"`
-	Keys       int64   `json:"keys"`
-	Zipf       float64 `json:"zipf,omitempty"`
-	Reads      float64 `json:"reads"`
-	ValueBytes int64   `json:"value_bytes"`
-	Generator  string  `json:"generator,omitempty"`
+	Name       string          `json:"name"`
+	Rate       float64         `json:"rate"`
+	Keys       int64           `json:"keys"`
+	Zipf       float64         `json:"zipf,omitempty"`
+	Reads      float64         `json:"reads"`
+	ValueBytes int64           `json:"value_bytes"`
+	Generator  string          `json:"generator,omitempty"`
+	Resilience *resilienceJSON `json:"resilience,omitempty"`
+}
+
+type resilienceJSON struct {
+	Timeout jsonDur `json:"timeout,omitempty"`
+	Retries int     `json:"retries,omitempty"`
+	Backoff jsonDur `json:"backoff,omitempty"`
+	Jitter  float64 `json:"jitter,omitempty"`
+	Hedge   jsonDur `json:"hedge,omitempty"`
 }
 
 type shapeJSON struct {
@@ -96,6 +122,13 @@ type eventJSON struct {
 	Batch *batchJSON `json:"batch,omitempty"`
 	// kill-node backlog policy ("drain" or "drop"; optional).
 	Policy string `json:"policy,omitempty"`
+	// degrade-node service-latency multiplier.
+	Factor float64 `json:"factor,omitempty"`
+	// fault-window knobs: per-request error probability, window length,
+	// and an optional shard target (instead of a node).
+	ErrorRate float64 `json:"error_rate,omitempty"`
+	Duration  jsonDur `json:"duration,omitempty"`
+	Shard     *int    `json:"shard,omitempty"`
 }
 
 type pressureJSON struct {
@@ -145,7 +178,7 @@ func ParseScenario(data []byte) (Scenario, error) {
 			}
 		}
 		for _, cj := range pj.Classes {
-			p.Classes = append(p.Classes, TrafficClass{
+			tc := TrafficClass{
 				Name:         cj.Name,
 				Rate:         cj.Rate,
 				Keys:         cj.Keys,
@@ -153,23 +186,40 @@ func ParseScenario(data []byte) (Scenario, error) {
 				ReadFraction: cj.Reads,
 				ValueBytes:   cj.ValueBytes,
 				Generator:    Generator(cj.Generator),
-			})
+			}
+			if rj := cj.Resilience; rj != nil {
+				tc.Resilience = &Resilience{
+					Timeout: simtime.Duration(rj.Timeout),
+					Retries: rj.Retries,
+					Backoff: simtime.Duration(rj.Backoff),
+					Jitter:  rj.Jitter,
+					Hedge:   simtime.Duration(rj.Hedge),
+				}
+			}
+			p.Classes = append(p.Classes, tc)
 		}
 		s.Phases = append(s.Phases, p)
 	}
 	for _, ej := range doc.Events {
 		e := Event{
-			At:     simtime.Duration(ej.At),
-			Node:   -1,
-			Kind:   EventKind(ej.Kind),
-			Bytes:  ej.MB << 20,
-			Policy: KillPolicy(ej.Policy),
+			At:        simtime.Duration(ej.At),
+			Node:      -1,
+			Kind:      EventKind(ej.Kind),
+			Bytes:     ej.MB << 20,
+			Policy:    KillPolicy(ej.Policy),
+			Factor:    ej.Factor,
+			ErrorRate: ej.ErrorRate,
+			Duration:  simtime.Duration(ej.Duration),
 		}
 		if ej.Bytes > 0 {
 			e.Bytes = ej.Bytes
 		}
 		if ej.Node != nil {
 			e.Node = *ej.Node
+		}
+		if ej.Shard != nil {
+			shard := *ej.Shard
+			e.Shard = &shard
 		}
 		if ej.Pressure != nil {
 			kind := PressureAnon
@@ -212,6 +262,20 @@ func ParseScenario(data []byte) (Scenario, error) {
 		}
 		s.Events = append(s.Events, e)
 	}
+	if doc.SLO != nil {
+		s.SLO = &SLO{
+			P99:        simtime.Duration(doc.SLO.P99),
+			Window:     simtime.Duration(doc.SLO.Window),
+			MinSamples: doc.SLO.MinSamples,
+		}
+	}
+	if doc.Policies != nil {
+		pol := Policies{}
+		if doc.Policies.Shed != nil {
+			pol.Shed = &ShedPolicy{Step: doc.Policies.Shed.Step, Max: doc.Policies.Shed.Max}
+		}
+		s.Policies = &pol
+	}
 	if err := s.Validate(); err != nil {
 		return Scenario{}, err
 	}
@@ -249,7 +313,7 @@ func MarshalScenarioJSON(s Scenario) ([]byte, error) {
 			}
 		}
 		for _, tc := range p.Classes {
-			pj.Classes = append(pj.Classes, classJSON{
+			cj := classJSON{
 				Name:       tc.Name,
 				Rate:       tc.Rate,
 				Keys:       tc.Keys,
@@ -257,15 +321,32 @@ func MarshalScenarioJSON(s Scenario) ([]byte, error) {
 				Reads:      tc.ReadFraction,
 				ValueBytes: tc.ValueBytes,
 				Generator:  string(tc.Generator),
-			})
+			}
+			if r := tc.Resilience; r != nil {
+				cj.Resilience = &resilienceJSON{
+					Timeout: jsonDur(r.Timeout),
+					Retries: r.Retries,
+					Backoff: jsonDur(r.Backoff),
+					Jitter:  r.Jitter,
+					Hedge:   jsonDur(r.Hedge),
+				}
+			}
+			pj.Classes = append(pj.Classes, cj)
 		}
 		doc.Phases = append(doc.Phases, pj)
 	}
 	for _, e := range s.Events {
 		ej := eventJSON{
-			At:     jsonDur(e.At),
-			Kind:   string(e.Kind),
-			Policy: string(e.Policy),
+			At:        jsonDur(e.At),
+			Kind:      string(e.Kind),
+			Policy:    string(e.Policy),
+			Factor:    e.Factor,
+			ErrorRate: e.ErrorRate,
+			Duration:  jsonDur(e.Duration),
+		}
+		if e.Shard != nil {
+			shard := *e.Shard
+			ej.Shard = &shard
 		}
 		if e.Bytes%(1<<20) == 0 {
 			ej.MB = e.Bytes >> 20
@@ -297,6 +378,20 @@ func MarshalScenarioJSON(s Scenario) ([]byte, error) {
 			}
 		}
 		doc.Events = append(doc.Events, ej)
+	}
+	if s.SLO != nil {
+		doc.SLO = &sloJSON{
+			P99:        jsonDur(s.SLO.P99),
+			Window:     jsonDur(s.SLO.Window),
+			MinSamples: s.SLO.MinSamples,
+		}
+	}
+	if s.Policies != nil {
+		pol := policiesJSON{}
+		if s.Policies.Shed != nil {
+			pol.Shed = &shedJSON{Step: s.Policies.Shed.Step, Max: s.Policies.Shed.Max}
+		}
+		doc.Policies = &pol
 	}
 	return json.MarshalIndent(doc, "", "  ")
 }

@@ -1,0 +1,194 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/hermes-sim/hermes/internal/simtime"
+)
+
+// validScenarioDoc is the smallest well-formed spec document; the error
+// table below mutates one field at a time off this baseline.
+const validScenarioDoc = `{
+  "name": "t",
+  "phases": [
+    {"name": "p", "duration": "50ms",
+     "classes": [{"name": "c", "rate": 1000, "keys": 100, "reads": 0.5, "value_bytes": 512}]}
+  ]
+}`
+
+// TestScenarioJSONErrors: malformed spec documents — unknown event kinds,
+// malformed duration strings, out-of-range resilience and SLO knobs — come
+// back as a clear field-named error, never a panic and never a half-parsed
+// scenario.
+func TestScenarioJSONErrors(t *testing.T) {
+	phase := `{"name": "p", "duration": "50ms", "classes": [{"name": "c", "rate": 1000, "keys": 100, "reads": 0.5, "value_bytes": 512}]}`
+	cases := []struct {
+		name string
+		doc  string
+		want string
+	}{
+		{"not json", `{"name": `, "scenario JSON"},
+		{"unknown event kind",
+			`{"name":"t","phases":[` + phase + `],"events":[{"at":"1ms","kind":"explode"}]}`,
+			"unknown event kind"},
+		{"malformed phase duration",
+			`{"name":"t","phases":[{"name":"p","duration":"25 parsecs","classes":[{"name":"c","rate":1000,"keys":100,"reads":0.5,"value_bytes":512}]}]}`,
+			`bad duration "25 parsecs"`},
+		{"duration of the wrong type",
+			`{"name":"t","phases":[{"name":"p","duration":true,"classes":[{"name":"c","rate":1000,"keys":100,"reads":0.5,"value_bytes":512}]}]}`,
+			"duration must be a string"},
+		{"malformed event duration",
+			`{"name":"t","phases":[` + phase + `],"events":[{"at":"1ms","kind":"fault-window","node":0,"error_rate":0.5,"duration":"soon"}]}`,
+			`bad duration "soon"`},
+		{"degrade factor at native speed",
+			`{"name":"t","phases":[` + phase + `],"events":[{"at":"1ms","kind":"degrade-node","node":0,"factor":1}]}`,
+			"Factor must be > 1"},
+		{"fault window without a rate",
+			`{"name":"t","phases":[` + phase + `],"events":[{"at":"1ms","kind":"fault-window","node":0,"duration":"5ms"}]}`,
+			"ErrorRate must be in (0, 1]"},
+		{"factor off a degrade",
+			`{"name":"t","phases":[` + phase + `],"events":[{"at":"1ms","kind":"heal-node","node":0,"factor":2}]}`,
+			"Factor applies only to degrade-node"},
+		{"resilience jitter out of range",
+			`{"name":"t","phases":[{"name":"p","duration":"50ms","classes":[{"name":"c","rate":1000,"keys":100,"reads":0.5,"value_bytes":512,"resilience":{"timeout":"1ms","retries":1,"backoff":"100us","jitter":1.5}}]}]}`,
+			"Jitter must be in [0, 1)"},
+		{"retries without backoff",
+			`{"name":"t","phases":[{"name":"p","duration":"50ms","classes":[{"name":"c","rate":1000,"keys":100,"reads":0.5,"value_bytes":512,"resilience":{"timeout":"1ms","retries":2}}]}]}`,
+			"Backoff"},
+		{"policies without an slo",
+			`{"name":"t","phases":[` + phase + `],"policies":{"shed":{"step":0.2,"max":0.8}}}`,
+			"Policies requires an SLO"},
+		{"slo without a window",
+			`{"name":"t","phases":[` + phase + `],"slo":{"p99":"200us"}}`,
+			"Window must be > 0"},
+		{"shed step above its cap",
+			`{"name":"t","phases":[` + phase + `],"slo":{"p99":"200us","window":"5ms"},"policies":{"shed":{"step":0.9,"max":0.5}}}`,
+			"Step must be <= Max"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseScenario([]byte(tc.doc))
+			if err == nil {
+				t.Fatal("malformed document accepted")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+	if _, err := ParseScenario([]byte(validScenarioDoc)); err != nil {
+		t.Fatalf("baseline document rejected: %v", err)
+	}
+}
+
+// TestScenarioJSONResilienceRoundTrip: the resilience surface — class
+// policies, soft-fault events (node- and shard-targeted) and the slo /
+// policies blocks — survives marshal → parse exactly.
+func TestScenarioJSONResilienceRoundTrip(t *testing.T) {
+	shard := 3
+	s := multiClassScenario()
+	s.Phases[0].Classes[0].Resilience = &Resilience{
+		Timeout: 200 * simtime.Microsecond,
+		Retries: 2,
+		Backoff: 50 * simtime.Microsecond,
+		Jitter:  0.25,
+		Hedge:   150 * simtime.Microsecond,
+	}
+	s.Events = []Event{
+		{At: 50 * simtime.Millisecond, Node: 1, Kind: EventDegradeNode, Factor: 4},
+		{At: 150 * simtime.Millisecond, Node: 1, Kind: EventHealNode},
+		{At: 60 * simtime.Millisecond, Node: 2, Kind: EventFaultWindow, ErrorRate: 0.2, Duration: 30 * simtime.Millisecond},
+		{At: 80 * simtime.Millisecond, Node: -1, Kind: EventFaultWindow, ErrorRate: 0.05, Duration: 10 * simtime.Millisecond, Shard: &shard},
+	}
+	s.SLO = &SLO{P99: 300 * simtime.Microsecond, Window: 10 * simtime.Millisecond, MinSamples: 32}
+	s.Policies = &Policies{Shed: &ShedPolicy{Step: 0.2, Max: 0.8}}
+
+	data, err := MarshalScenarioJSON(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseScenario(data)
+	if err != nil {
+		t.Fatalf("round-trip parse failed: %v\n%s", err, data)
+	}
+	if got.Phases[0].Classes[0].Resilience == nil || *got.Phases[0].Classes[0].Resilience != *s.Phases[0].Classes[0].Resilience {
+		t.Fatalf("resilience policy diverged: %+v", got.Phases[0].Classes[0].Resilience)
+	}
+	if got.SLO == nil || *got.SLO != *s.SLO {
+		t.Fatalf("slo diverged: %+v", got.SLO)
+	}
+	if got.Policies == nil || got.Policies.Shed == nil || *got.Policies.Shed != *s.Policies.Shed {
+		t.Fatalf("policies diverged: %+v", got.Policies)
+	}
+	if got.Events[3].Shard == nil || *got.Events[3].Shard != shard {
+		t.Fatalf("shard target diverged: %+v", got.Events[3])
+	}
+	// Shard pointers are deep-copied, so DeepEqual must hold on the whole.
+	data2, err := MarshalScenarioJSON(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != string(data2) {
+		t.Fatalf("second marshal diverged:\nfirst:  %s\nsecond: %s", data, data2)
+	}
+}
+
+// TestScenarioScaledResilienceDomains pins the Scaled domain split: the
+// timeline-domain fields (event windows, the SLO sampling window and its
+// samples floor) scale, the latency-domain fields (client timeouts,
+// backoffs, hedges, the p99 target) do not — service latencies are
+// scale-invariant.
+func TestScenarioScaledResilienceDomains(t *testing.T) {
+	s := multiClassScenario()
+	res := &Resilience{Timeout: 200 * simtime.Microsecond, Retries: 2, Backoff: 50 * simtime.Microsecond, Hedge: 100 * simtime.Microsecond}
+	s.Phases[0].Classes[0].Resilience = res
+	s.Events = []Event{
+		{At: 100 * simtime.Millisecond, Node: 0, Kind: EventFaultWindow, ErrorRate: 0.5, Duration: 40 * simtime.Millisecond},
+	}
+	s.SLO = &SLO{P99: 300 * simtime.Microsecond, Window: 10 * simtime.Millisecond, MinSamples: 32}
+	s.Policies = &Policies{Shed: &ShedPolicy{Step: 0.2, Max: 0.8}}
+
+	half := s.Scaled(0.5)
+	if half.Events[0].Duration != 20*simtime.Millisecond {
+		t.Errorf("fault window %v, want 20ms", half.Events[0].Duration)
+	}
+	if half.SLO.Window != 5*simtime.Millisecond {
+		t.Errorf("slo window %v, want 5ms", half.SLO.Window)
+	}
+	if half.SLO.MinSamples != 16 {
+		t.Errorf("slo samples floor %d, want 16", half.SLO.MinSamples)
+	}
+	if half.SLO.P99 != s.SLO.P99 {
+		t.Errorf("scaling changed the p99 target to %v", half.SLO.P99)
+	}
+	if got := half.Phases[0].Classes[0].Resilience; *got != *res {
+		t.Errorf("scaling changed the client policy: %+v", got)
+	}
+	if s.SLO.MinSamples != 32 || s.Events[0].Duration != 40*simtime.Millisecond {
+		t.Error("Scaled mutated its receiver")
+	}
+	// A tiny scale keeps the floor of one sample rather than zero (which
+	// would mean "default 16" and silently re-enable the controller).
+	if tiny := s.Scaled(0.001); tiny.SLO.MinSamples != 1 {
+		t.Errorf("tiny samples floor %d, want 1", tiny.SLO.MinSamples)
+	}
+	// The flat-load bypass must stay off for any resilience surface.
+	flatBase := Scenario{Name: "f", Seed: 1, Phases: []Phase{{Name: "p", Requests: 100,
+		Classes: []TrafficClass{{Name: "c", Rate: 1000, Keys: 100, ReadFraction: 0.5, ValueBytes: 512}}}}}
+	if _, ok := flatBase.FlatLoad(); !ok {
+		t.Fatal("flat baseline did not lift")
+	}
+	withRes := flatBase
+	withRes.Phases = []Phase{flatBase.Phases[0]}
+	withRes.Phases[0].Classes = []TrafficClass{flatBase.Phases[0].Classes[0]}
+	withRes.Phases[0].Classes[0].Resilience = res
+	if _, ok := withRes.FlatLoad(); ok {
+		t.Error("flat bypass engaged despite a resilience policy")
+	}
+	withSLO := flatBase
+	withSLO.SLO = &SLO{P99: simtime.Millisecond, Window: simtime.Millisecond}
+	if _, ok := withSLO.FlatLoad(); ok {
+		t.Error("flat bypass engaged despite an SLO")
+	}
+}
