@@ -34,10 +34,11 @@ func churnScenario() (Config, workload.LoadConfig) {
 	load := workload.DefaultLoadConfig()
 	load.Requests = 30_000
 	if testing.Short() {
-		// The race-detector CI job runs -short: a third of the stream
-		// still overflows memtables and churns batch exits, at a wall
+		// The race-detector CI job runs -short: half the stream still
+		// overflows memtables, churns batch exits AND reclaims (the
+		// test's pressure floor — 10k requests stay under it), at a wall
 		// clock the ~10x race overhead can afford.
-		load.Requests = 10_000
+		load.Requests = 15_000
 	}
 	load.RatePerSec = 100_000
 	load.Keys = 2_000

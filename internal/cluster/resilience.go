@@ -31,15 +31,18 @@ import (
 // generation (at send + timeout + backoff) and carry a condition — "fires
 // only if the previous attempt failed" — that the serving node evaluates
 // locally against a per-node fate table filled in per-node arrival order.
-// A conditional attempt whose routing lands on a different node than its
-// chain's anchor is discarded at generation (the fate is not observable
-// there without cross-node feedback); this can only happen under topology
-// events and is documented as a modelling artifact. Hedges go to a
-// different node by construction, so they are unconditional ("always hedge
-// after the delay"); the SLO controller is per-node state advanced in
-// per-node arrival order with its own per-node stream. Nothing a node
-// observes depends on another node's runtime state — the invariant both
-// engines rest on.
+// A conditional successor whose routing would land it away from its
+// chain's anchor (only possible under topology events) is never spawned:
+// routing is a pure function of the static outage schedule, so generation
+// checks the successor's landing at spawn time and marks the predecessor
+// as the chain's final attempt instead — the failure stays countable and
+// no fate entry is left orphaned. Hedges are pinned at spawn time to a
+// live replica-chain position different from the serving instance, so
+// they go to a different node by construction and are unconditional
+// ("always hedge after the delay"); the SLO controller is per-node state
+// advanced in per-node arrival order with its own per-node stream.
+// Nothing a node observes depends on another node's runtime state — the
+// invariant both engines rest on.
 
 // Domain-separation stream ids for the resilience layer (same namespace
 // discipline as workload's streamLoadDriver).
@@ -338,6 +341,7 @@ type pendingAttempt struct {
 	cond      bool
 	hedge     bool
 	anchor    int32 // node index a conditional chain is pinned to
+	hinst     int32 // replica-chain position a hedge is pinned to
 }
 
 // retryHeap is a min-heap on (at, seq); seq makes same-instant ordering
@@ -412,6 +416,28 @@ func (x *resExpander) backoffDelay(rc *resClass, k int) simtime.Duration {
 	return d
 }
 
+// condObservable reports whether a conditional successor arriving at the
+// instant can observe its chain's fate: its routing — a pure function of
+// the static outage schedule, so generation can evaluate it at spawn time
+// — must land it on the anchor node, and a conditional write must not be
+// diverted to a replica (its migration-manifest entry could not be
+// trusted). A successor whose whole chain is down at the instant stays
+// observable: the route-drop path respawns it, still anchored.
+func (x *resExpander) condObservable(shard int, anchor int32, op workload.Op, at simtime.Time) bool {
+	sr := x.sr
+	if sr.topo == nil {
+		return true
+	}
+	inst, up := x.c.routeInstance(sr.topo, shard, at)
+	if !up {
+		return true
+	}
+	if int32(x.c.chains[shard][inst]) != anchor {
+		return false
+	}
+	return inst == 0 || op != workload.OpWrite
+}
+
 // spawnRetry queues the chain's next attempt.
 func (x *resExpander) spawnRetry(p pendingAttempt, rc *resClass, delay simtime.Duration, cond bool, anchor int32) {
 	x.seq++
@@ -426,23 +452,53 @@ func (x *resExpander) spawnRetry(p pendingAttempt, rc *resClass, delay simtime.D
 }
 
 // emitAttempt routes and emits one attempt, drawing its error verdict and
-// queueing its successors (retry, hedge). Returns false when the attempt
-// was dropped at routing or discarded as an unobservable conditional.
+// queueing its successors (retry, hedge). Returns without emitting when
+// the attempt was dropped at routing or its pinned hedge replica is down.
 func (x *resExpander) emitAttempt(p pendingAttempt) {
 	c, sr := x.c, x.sr
 	res := sr.res
 	rc := res.classFor(p.phase, p.class)
 	shard := c.router.ShardForKey(p.req.Key)
+	if p.hedge {
+		// A hedge serves on the replica-chain position pinned at spawn
+		// time — never re-routed, or it would land back on the very
+		// instance it is hedging against. upAt is a pure function of the
+		// static schedule at the hedge's own instant, so this re-check
+		// matches the spawn-time one; a hedge whose replica is down is
+		// discarded, not re-homed. Hedges are immune to fault draws and
+		// spawn nothing: a pure speculative duplicate.
+		if sr.topo != nil && !sr.topo.upAt(c.chains[shard][p.hinst], p.at) {
+			return
+		}
+		meta := resAttempt{
+			id:        p.id,
+			cls:       int32(res.classOff[p.phase]) + p.class,
+			attemptNo: uint8(p.attemptNo),
+			flags:     attHedge,
+		}
+		x.emit(p.req, int32(shard), p.hinst, sr.pcIndexAt(p.phase, p.class), meta)
+		return
+	}
 	inst := 0
 	if sr.topo != nil {
 		var up bool
 		if inst, up = c.routeInstance(sr.topo, shard, p.at); !up {
 			// The whole chain is down: the client's connection is refused
-			// on the spot, so the retry (if any remain) is unconditional —
-			// generation knows this failure happened.
+			// on the spot, and a remaining retry fires under the SAME
+			// condition this attempt carried — a speculative attempt stays
+			// speculative (its chain may already have succeeded before
+			// this attempt was dropped), an unconditional one respawns
+			// unconditionally.
 			sr.routeDropped[c.chains[shard][0]]++
-			if rc.active && !p.hedge && p.attemptNo < rc.retries {
-				x.spawnRetry(p, rc, x.backoffDelay(rc, p.attemptNo+1), p.cond, p.anchor)
+			if rc.active && p.attemptNo < rc.retries {
+				delay := x.backoffDelay(rc, p.attemptNo+1)
+				// A conditional respawn keeps the chain's fate entry
+				// consumable only if its landing stays observable; the
+				// rare unobservable tail ends the chain here, uncounted
+				// (the attempt never reaches a node that could count it).
+				if !p.cond || x.condObservable(shard, p.anchor, p.req.Op, p.at.Add(delay)) {
+					x.spawnRetry(p, rc, delay, p.cond, p.anchor)
+				}
 			}
 			return
 		}
@@ -450,9 +506,10 @@ func (x *resExpander) emitAttempt(p pendingAttempt) {
 	node := c.shards[shard].instances[inst].node.Index
 	if p.cond {
 		// A conditional (timeout-speculative) attempt is only evaluable on
-		// the node holding its chain's fate; re-routed conditionals are
-		// discarded, as are conditional writes diverted to a replica
-		// (their migration-manifest entry could not be trusted).
+		// the node holding its chain's fate. Spawn-time condObservable
+		// checks made exactly this routing decision, so a re-routed
+		// conditional or a conditional write diverted to a replica cannot
+		// reach here — the check stands as a guard on that invariant.
 		if int32(node) != p.anchor || (inst > 0 && p.req.Op == workload.OpWrite) {
 			return
 		}
@@ -461,13 +518,6 @@ func (x *resExpander) emitAttempt(p pendingAttempt) {
 		id:        p.id,
 		cls:       int32(res.classOff[p.phase]) + p.class,
 		attemptNo: uint8(p.attemptNo),
-	}
-	if p.hedge {
-		// Hedges are immune to fault draws and spawn nothing: a pure
-		// speculative duplicate.
-		meta.flags |= attHedge
-		x.emit(p.req, int32(shard), int32(inst), sr.pcIndexAt(p.phase, p.class), meta)
-		return
 	}
 	if p.attemptNo > 0 {
 		meta.flags |= attRetry
@@ -492,16 +542,25 @@ func (x *resExpander) emitAttempt(p pendingAttempt) {
 	// Queue the successor. An error is generation-time knowledge, so the
 	// retry fires under the same condition this attempt did; a timeout is
 	// serve-time knowledge, so the retry is speculative — conditional on
-	// this attempt's fate, pinned to this node.
+	// this attempt's fate, pinned to this node. Either way a conditional
+	// successor is only spawned when its landing can observe that fate
+	// (condObservable); otherwise this attempt becomes the chain's last,
+	// so a final failure is still counted and no fate entry is orphaned.
 	spawned := false
 	if rc.active && p.attemptNo < rc.retries {
 		if err {
-			x.spawnRetry(p, rc, x.backoffDelay(rc, p.attemptNo+1), p.cond, p.anchor)
-			spawned = true
+			delay := x.backoffDelay(rc, p.attemptNo+1)
+			if !p.cond || x.condObservable(shard, p.anchor, p.req.Op, p.at.Add(delay)) {
+				x.spawnRetry(p, rc, delay, p.cond, p.anchor)
+				spawned = true
+			}
 		} else if rc.timeout > 0 {
-			x.spawnRetry(p, rc, rc.timeout+x.backoffDelay(rc, p.attemptNo+1), true, int32(node))
-			spawned = true
-			meta.flags |= attTracked
+			delay := rc.timeout + x.backoffDelay(rc, p.attemptNo+1)
+			if x.condObservable(shard, int32(node), p.req.Op, p.at.Add(delay)) {
+				x.spawnRetry(p, rc, delay, true, int32(node))
+				spawned = true
+				meta.flags |= attTracked
+			}
 		}
 	}
 	if !spawned {
@@ -513,9 +572,11 @@ func (x *resExpander) emitAttempt(p pendingAttempt) {
 		meta.flags |= attTracked
 	}
 	// Hedge the read: a speculative duplicate to the next live replica
-	// after the hedge delay. Always-on hedging — whether the primary
-	// already answered is another node's runtime state, which generation
-	// must not consult.
+	// after the hedge delay, pinned to that chain position so emission
+	// serves it there rather than re-routing it back onto the instance it
+	// hedges against. Always-on hedging — whether the primary already
+	// answered is another node's runtime state, which generation must not
+	// consult.
 	if rc.active && rc.hedge > 0 && p.attemptNo == 0 && !p.cond &&
 		p.req.Op == workload.OpRead && !err {
 		th := p.at.Add(rc.hedge)
@@ -532,7 +593,7 @@ func (x *resExpander) emitAttempt(p pendingAttempt) {
 			x.heap.push(pendingAttempt{
 				at: th, seq: x.seq, req: hreq,
 				phase: p.phase, class: p.class, id: p.id,
-				attemptNo: p.attemptNo, hedge: true,
+				attemptNo: p.attemptNo, hedge: true, hinst: int32(hi),
 			})
 			break
 		}

@@ -97,6 +97,47 @@ func TestResilienceChaosSeedReplay(t *testing.T) {
 	}
 }
 
+// TestHedgesServeOnReplica pins the hedge routing contract: a hedge is a
+// speculative duplicate to a DIFFERENT live replica, pinned to that chain
+// position at spawn time. On a two-node, one-shard, two-replica fleet
+// every hedge must therefore be served (and counted) on the replica node,
+// never re-routed back onto the primary it hedges against.
+func TestHedgesServeOnReplica(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Nodes = 2
+	cfg.Shards = 1
+	cfg.ShardReplicas = 2
+	cfg.Seed = 29
+	c := New(cfg)
+	primary, replica := c.chains[0][0], c.chains[0][1]
+	c.Close()
+
+	classes := []workload.TrafficClass{
+		{Name: "point", Rate: 40_000, Keys: 4_000, ReadFraction: 1, ValueBytes: 4 << 10,
+			Resilience: &workload.Resilience{Hedge: 20 * simtime.Microsecond}},
+	}
+	scn := workload.Scenario{
+		Name:   "hedge-pin",
+		Seed:   29,
+		Phases: []workload.Phase{{Name: "steady", Duration: 40 * simtime.Millisecond, Classes: classes}},
+	}
+	rep := runScenario(t, cfg, scn)
+	if rep.Hedges == 0 {
+		t.Fatal("hedging read class sent no hedges")
+	}
+	if got := rep.PerNode[primary].Hedges; got != 0 {
+		t.Errorf("primary node %d served %d hedges — hedges must go to the replica", primary, got)
+	}
+	if got := rep.PerNode[replica].Hedges; got != rep.Hedges {
+		t.Errorf("replica node %d served %d of %d hedges", replica, got, rep.Hedges)
+	}
+	cfg.Sequential = true
+	seq := runScenario(t, cfg, scn)
+	if !reflect.DeepEqual(rep, seq) {
+		t.Fatal("hedge-pinned run diverged between engines")
+	}
+}
+
 // TestResilienceConservationOracle pins the chain-accounting identities on
 // an all-write run (no hedges by construction) with fault windows, a tight
 // timeout and a retry budget but no shedding and no topology events — the
@@ -314,9 +355,10 @@ func TestShedControllerBites(t *testing.T) {
 }
 
 // TestResilienceWithTopologyChaos composes the resilience layer with
-// kill/restore topology dynamics — the regime where conditional retries can
-// be discarded at routing — and requires both engines to still agree bit
-// for bit, with the retry accounting staying within its causal bound.
+// kill/restore topology dynamics — the regime where conditional retries
+// can be suppressed at spawn (their landing would be unobservable) or
+// dropped at routing — and requires both engines to still agree bit for
+// bit, with the retry accounting staying within its causal bound.
 func TestResilienceWithTopologyChaos(t *testing.T) {
 	cfg := drillConfig(ServiceRedis, AllocGlibc)
 	target := primaryHeavyNode(cfg)
@@ -337,8 +379,9 @@ func TestResilienceWithTopologyChaos(t *testing.T) {
 	if par.Errors == 0 || par.Retries == 0 {
 		t.Errorf("composed drill did not exercise the fault paths: errors=%d retries=%d", par.Errors, par.Retries)
 	}
-	// Discarded conditionals mean some causes never produce a fired retry:
-	// the exact identity relaxes to an upper bound.
+	// Suppressed conditionals and route-dropped retries mean some causes
+	// never produce a fired retry: the exact identity relaxes to an upper
+	// bound.
 	if par.Retries > par.Errors+par.Timeouts {
 		t.Errorf("retries %d exceed their causes (errors %d + timeouts %d)", par.Retries, par.Errors, par.Timeouts)
 	}

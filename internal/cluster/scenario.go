@@ -442,7 +442,9 @@ func (c *Cluster) serveScenario(sr *scenarioRun, shardID int, inst, pcIdx int32,
 			}
 			return
 		}
-		if inst > 0 {
+		if inst > 0 && !meta.is(attHedge) {
+			// A hedge on a replica is there by design, not because the
+			// primary was down — it is not a failover serve.
 			sr.failover[n.Index]++
 		}
 	}
