@@ -12,6 +12,9 @@
 //	             [-node-baseline baseline.json]
 //	hermes-bench -bench-workload BENCH_workload.json [-workload-draws N]
 //	             [-workload-reps 3]
+//	hermes-bench -bench-scaling BENCH_scaling.json [-scaling-cores 1,2,4,8]
+//	             [-scaling-fleets 8,64] [-scaling-requests 1000000]
+//	             [-scaling-reps 3] [-scaling-min-speedup 0]
 //
 // With no -run flag every experiment runs in paper order. -json emits
 // machine-readable experiment reports instead of tables; -cpuprofile and
@@ -31,6 +34,12 @@
 // multiplier — on both the legacy (stdlib-algorithm) and randgen
 // generators, reporting median-of-reps walls and speedups; the committed
 // BENCH_workload.json is its output (see EXPERIMENTS.md).
+//
+// -bench-scaling measures the parallel cluster engine's multi-core
+// scaling curve (see scalingbench.go); the committed BENCH_scaling.json
+// is its output. Bench modes pin GOMAXPROCS to 1 by default (override
+// with -gomaxprocs) so committed numbers are single-core
+// apples-to-apples; -bench-scaling sets the pin per measured point.
 package main
 
 import (
@@ -68,7 +77,23 @@ func run() error {
 	benchWorkload := flag.String("bench-workload", "", "benchmark the workload generators (legacy vs randgen) and write the JSON trajectory to this file")
 	workloadDraws := flag.Int64("workload-draws", 20_000_000, "draws per generator measurement for -bench-workload")
 	workloadReps := flag.Int("workload-reps", 3, "repetitions per measurement for -bench-workload (median reported)")
+	benchScaling := flag.String("bench-scaling", "", "measure the parallel engine's multi-core scaling curve and write the JSON trajectory to this file")
+	scalingCores := flag.String("scaling-cores", "1,2,4,8", "comma-separated GOMAXPROCS points for -bench-scaling")
+	scalingFleets := flag.String("scaling-fleets", "8,64", "comma-separated node counts for -bench-scaling")
+	scalingRequests := flag.Int64("scaling-requests", 1_000_000, "requests per measurement for -bench-scaling")
+	scalingReps := flag.Int("scaling-reps", 3, "repetitions per point for -bench-scaling (median reported)")
+	scalingMinSpeedup := flag.Float64("scaling-min-speedup", 0, "fail unless every fleet's best multi-core speedup reaches this factor (0 = report only)")
+	gomaxprocs := flag.Int("gomaxprocs", 0, "pin GOMAXPROCS (0 = pin 1 in bench modes, runtime default otherwise; -bench-scaling sets it per point)")
 	flag.Parse()
+
+	// Bench modes default to a single-core pin so committed BENCH numbers
+	// are comparable across hosts; -bench-scaling overrides the pin per
+	// measured point. Ordinary experiment runs keep the runtime default.
+	if *gomaxprocs > 0 {
+		runtime.GOMAXPROCS(*gomaxprocs)
+	} else if *benchNode != "" || *benchWorkload != "" {
+		runtime.GOMAXPROCS(1)
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -94,6 +119,18 @@ func run() error {
 				fmt.Fprintln(os.Stderr, "hermes-bench:", err)
 			}
 		}()
+	}
+
+	if *benchScaling != "" {
+		return runScalingBench(scalingBenchConfig{
+			path:       *benchScaling,
+			cores:      *scalingCores,
+			fleets:     *scalingFleets,
+			requests:   *scalingRequests,
+			reps:       *scalingReps,
+			minSpeedup: *scalingMinSpeedup,
+			seed:       *seed,
+		})
 	}
 
 	if *benchWorkload != "" {

@@ -683,10 +683,10 @@ func fmtBytes(n int64) string {
 // at finish — which lets concurrent node goroutines fill the slices
 // without sharing.
 type runState struct {
-	shard                   [][]*stats.Recorder // indexed by shard ID, chain position
-	shardReads, shardWrites [][]int64           // indexed by shard ID, chain position
-	wait                    []*stats.Recorder   // indexed by node index
-	reads, writes           []int64             // indexed by node index
+	shard [][]*stats.Recorder // indexed by shard ID, chain position
+	ops   [][]opCounters      // indexed by shard ID, chain position
+	wait  []*stats.Recorder   // indexed by node index
+	node  []nodeCounters      // indexed by node index
 	// degrade is the per-node service-slowdown schedule compiled from
 	// degrade-node/heal-node events; nil on every run without them. The
 	// factor is looked up at service start on the node's own clock, so the
@@ -694,22 +694,37 @@ type runState struct {
 	degrade [][]factorWindow
 }
 
+// opCounters tallies one shard instance's operations. Padded to a cache
+// line: instances of different shards are served by different node
+// goroutines every request, and unpadded 16-byte counters packed into
+// adjacent lines turn those independent increments into cross-core
+// line bouncing.
+type opCounters struct {
+	reads, writes int64
+	_             [48]byte
+}
+
+// nodeCounters tallies one node's operations, padded for the same reason as
+// opCounters: every node goroutine increments its own entry on every
+// request.
+type nodeCounters struct {
+	reads, writes int64
+	_             [48]byte
+}
+
 func (c *Cluster) newRunState() *runState {
 	st := &runState{
-		shard:       make([][]*stats.Recorder, len(c.shards)),
-		shardReads:  make([][]int64, len(c.shards)),
-		shardWrites: make([][]int64, len(c.shards)),
-		wait:        make([]*stats.Recorder, len(c.nodes)),
-		reads:       make([]int64, len(c.nodes)),
-		writes:      make([]int64, len(c.nodes)),
+		shard: make([][]*stats.Recorder, len(c.shards)),
+		ops:   make([][]opCounters, len(c.shards)),
+		wait:  make([]*stats.Recorder, len(c.nodes)),
+		node:  make([]nodeCounters, len(c.nodes)),
 	}
 	for i, sh := range c.shards {
 		st.shard[i] = make([]*stats.Recorder, len(sh.instances))
 		for inst := range sh.instances {
 			st.shard[i][inst] = c.newRecorder(sh.rec.Name())
 		}
-		st.shardReads[i] = make([]int64, len(sh.instances))
-		st.shardWrites[i] = make([]int64, len(sh.instances))
+		st.ops[i] = make([]opCounters, len(sh.instances))
 	}
 	for i, n := range c.nodes {
 		st.wait[i] = c.newRecorder(n.Name + "/wait")
@@ -748,12 +763,12 @@ func (c *Cluster) serveOn(st *runState, shardID, inst int, req workload.Request)
 	case workload.OpWrite:
 		raw = in.svc.Insert(req.Key, req.ValueBytes)
 		preMapped = in.svc.LastPreMapped()
-		st.shardWrites[shardID][inst]++
-		st.writes[n.Index]++
+		st.ops[shardID][inst].writes++
+		st.node[n.Index].writes++
 	case workload.OpRead:
 		raw = in.svc.Read(req.Key)
-		st.shardReads[shardID][inst]++
-		st.reads[n.Index]++
+		st.ops[shardID][inst].reads++
+		st.node[n.Index].reads++
 	}
 	if st.degrade != nil {
 		// A degraded node does the same work slower: the whole raw service
@@ -801,9 +816,9 @@ func (c *Cluster) finish(st *runState) Report {
 		rec := c.newRecorder(sh.rec.Name())
 		for inst := range sh.instances {
 			rec.Merge(st.shard[id][inst])
-			sh.reads += st.shardReads[id][inst]
-			sh.writes += st.shardWrites[id][inst]
-			sh.requests += st.shardReads[id][inst] + st.shardWrites[id][inst]
+			sh.reads += st.ops[id][inst].reads
+			sh.writes += st.ops[id][inst].writes
+			sh.requests += st.ops[id][inst].reads + st.ops[id][inst].writes
 		}
 		shardRecs[id] = rec
 		sh.rec.Merge(rec)
@@ -812,11 +827,27 @@ func (c *Cluster) finish(st *runState) Report {
 	report := Report{Allocator: c.cfg.Allocator, Service: c.cfg.Service(), Stats: c.cfg.StatsBackend()}
 	clusterRec := c.newRecorder("cluster")
 	waitRec := c.newRecorder("queue-wait")
+	var total int
+	for _, recs := range st.shard {
+		for _, rec := range recs {
+			total += rec.Count()
+		}
+	}
+	clusterRec.Reserve(total)
 	for i, n := range c.nodes {
 		// A node's digest covers what it actually served: the shard
 		// instances it hosts, primaries and failover replicas alike, in
 		// (shard, chain-position) order.
 		runNode := c.newRecorder(n.Name)
+		nodeTotal := 0
+		for _, sh := range c.shards {
+			for inst := range sh.instances {
+				if sh.instances[inst].node == n {
+					nodeTotal += st.shard[sh.ID][inst].Count()
+				}
+			}
+		}
+		runNode.Reserve(nodeTotal)
 		for _, sh := range c.shards {
 			for inst := range sh.instances {
 				if sh.instances[inst].node == n {
@@ -827,8 +858,8 @@ func (c *Cluster) finish(st *runState) Report {
 		n.rec.Merge(runNode)
 		clusterRec.Merge(runNode)
 		waitRec.Merge(st.wait[i])
-		report.Reads += st.reads[i]
-		report.Writes += st.writes[i]
+		report.Reads += st.node[i].reads
+		report.Writes += st.node[i].writes
 		report.PerNode = append(report.PerNode, NodeReport{
 			Name:    n.Name,
 			Shards:  len(n.shards),

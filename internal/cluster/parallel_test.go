@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"reflect"
+	"runtime"
 	"testing"
 
 	"github.com/hermes-sim/hermes/internal/stats"
@@ -157,4 +158,45 @@ func TestHistogramModeMemoryBounded(t *testing.T) {
 	if large > small*2 {
 		t.Fatalf("bucket footprint grew with samples: %d buckets at 5k vs %d at 20k", small, large)
 	}
+}
+
+// TestParallelSingleCoreMatchesSequential pins the GOMAXPROCS-adaptive
+// dispatch in the scenario engine. At GOMAXPROCS=1 the parallel engine
+// skips the chunk pipeline and takes the full-partition path — and, for
+// flat loads with no timeline, the bare-Request specialization under it.
+// The rest of the suite runs at the host's GOMAXPROCS (≥2 in CI), which
+// only exercises the pipeline, so this test is the coverage those
+// single-core paths get. Both must reproduce the sequential report bit
+// for bit, which is exactly what makes the dispatch result-neutral.
+func TestParallelSingleCoreMatchesSequential(t *testing.T) {
+	prev := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(prev)
+
+	t.Run("flat", func(t *testing.T) {
+		// Flat load, no events: RunScenario → partitioned → flat-load
+		// specialization.
+		cfg := testClusterConfig(AllocHermes)
+		cfg.Sequential = true
+		cs := New(cfg)
+		defer cs.Close()
+		seq := cs.Run(testLoad())
+		cfg.Sequential = false
+		cp := New(cfg)
+		defer cp.Close()
+		par := cp.Run(testLoad())
+		reportsEqual(t, seq, par)
+	})
+
+	t.Run("scenario", func(t *testing.T) {
+		// Multi-phase scenario with a live timeline: RunScenario →
+		// partitioned path proper.
+		cfg, scn := eventScenario()
+		cfg.Sequential = true
+		seq := runScenario(t, cfg, scn)
+		cfg.Sequential = false
+		par := runScenario(t, cfg, scn)
+		if !reflect.DeepEqual(seq, par) {
+			t.Fatalf("single-core parallel scenario diverged from sequential:\nseq: %+v\npar: %+v", seq, par)
+		}
+	})
 }

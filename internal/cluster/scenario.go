@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -588,12 +589,142 @@ type routedScenarioReq struct {
 	meta  resAttempt
 }
 
-// runScenarioParallel partitions the stream per node and executes each
-// node's sub-stream on its own goroutine, exactly like RunParallel; events
-// are node-local, so each goroutine fires its own node's timeline at the
-// same per-node points as the sequential engine and the report is
-// bit-identical.
+const (
+	// scenarioChunkReqs is the pipeline transfer unit of the parallel
+	// engine: requests per chunk. Large enough that channel operations
+	// amortize to noise, small enough that a chunk is still cache-warm from
+	// generation when its node serves it.
+	scenarioChunkReqs = 512
+	// scenarioChunkDepth is the per-node channel depth: how far generation
+	// may run ahead of a node before it blocks on that node's backpressure.
+	scenarioChunkDepth = 4
+	// admitWindow is the batched-admission look-ahead: a node serves its
+	// chunk in windows of this many requests, first prefetching every
+	// window key's service-table cache lines (read-only, so the simulated
+	// results are untouched), then serving the window — amortizing probe
+	// misses across the batch.
+	admitWindow = 8
+)
+
+// scenarioChunk is one pipeline buffer: a fixed-size block of routed
+// requests. Fixed blocks replace the old whole-run per-node partition
+// slices, whose append-regrowth memmoves and O(requests) footprint
+// serialized the run on the generation side.
+type scenarioChunk struct {
+	n    int
+	reqs [scenarioChunkReqs]routedScenarioReq
+}
+
+// runScenarioParallel streams the generated request stream to the serving
+// nodes through bounded per-node chunk pipelines: generation (one
+// goroutine, the deterministic global-order walk) overlaps with per-node
+// serving instead of completing before any request is served — the
+// single biggest serializer on multi-core runs. Routing partitions by the
+// SERVING node: failover hands the request to the replica's goroutine,
+// preserving arrival order within every node — which is all a node can
+// observe — so each node consumes the identical sub-stream in the identical
+// order as the old materialize-then-serve engine, and the report stays
+// bit-identical to the sequential engine's. Chunk handoff over a channel
+// also gives the happens-before edge that makes generation-side state
+// (e.g. migration manifests filled by diverted writes) visible to the
+// serving goroutine, exactly as the old full-partition barrier did.
 func (c *Cluster) runScenarioParallel(scn workload.Scenario, topo *topology, res *resilience) ScenarioReport {
+	if runtime.GOMAXPROCS(0) == 1 {
+		// On one core the pipeline cannot overlap anything; what decides the
+		// wall clock is cache locality, and the partitioned path — each
+		// node's whole sub-stream served contiguously — keeps one node's
+		// working set hot instead of cycling every node's through the cache
+		// chunk by chunk. Both paths produce the identical report.
+		return c.runScenarioPartitioned(scn, topo, res)
+	}
+	sr := c.newScenarioRun(scn, topo, res)
+	type nodePipe struct {
+		ch   chan *scenarioChunk
+		free chan *scenarioChunk
+		cur  *scenarioChunk
+	}
+	pipes := make([]nodePipe, len(c.nodes))
+	var wg sync.WaitGroup
+	for i := range pipes {
+		pipes[i].ch = make(chan *scenarioChunk, scenarioChunkDepth)
+		pipes[i].free = make(chan *scenarioChunk, scenarioChunkDepth+2)
+		for j := 0; j < scenarioChunkDepth+2; j++ {
+			pipes[i].free <- new(scenarioChunk)
+		}
+		wg.Add(1)
+		go func(p *nodePipe) {
+			defer wg.Done()
+			for ck := range p.ch {
+				c.serveChunk(sr, ck)
+				ck.n = 0
+				p.free <- ck
+			}
+		}(&pipes[i])
+	}
+	// primary caches shard → primary-node routing for the common inst==0
+	// case, saving two pointer hops per generated request.
+	primary := make([]int32, len(c.shards))
+	for i, sh := range c.shards {
+		primary[i] = int32(sh.node.Index)
+	}
+	bounds := c.generateScenario(scn, sr, func(req workload.Request, shard, inst, pc int32, meta resAttempt) {
+		node := primary[shard]
+		if inst != 0 {
+			node = int32(c.shards[shard].instances[inst].node.Index)
+		}
+		p := &pipes[node]
+		if p.cur == nil {
+			p.cur = <-p.free
+		}
+		p.cur.reqs[p.cur.n] = routedScenarioReq{req: req, shard: shard, inst: inst, pc: pc, meta: meta}
+		p.cur.n++
+		if p.cur.n == scenarioChunkReqs {
+			p.ch <- p.cur
+			p.cur = nil
+		}
+	})
+	for i := range pipes {
+		if p := &pipes[i]; p.cur != nil && p.cur.n > 0 {
+			p.ch <- p.cur
+			p.cur = nil
+		}
+		// Idle nodes' goroutines exit on the close; their timelines still
+		// fire during the drain in finishScenario, exactly as in the
+		// sequential engine.
+		close(pipes[i].ch)
+	}
+	wg.Wait()
+	return c.finishScenario(sr, scn, bounds)
+}
+
+// serveChunk serves one chunk in admission windows: prefetch the window's
+// service-table cache lines, then serve the window.
+func (c *Cluster) serveChunk(sr *scenarioRun, ck *scenarioChunk) {
+	for base := 0; base < ck.n; base += admitWindow {
+		end := base + admitWindow
+		if end > ck.n {
+			end = ck.n
+		}
+		for j := base; j < end; j++ {
+			rr := &ck.reqs[j]
+			c.shards[rr.shard].instances[rr.inst].svc.PrefetchKey(rr.req.Key)
+		}
+		for j := base; j < end; j++ {
+			rr := &ck.reqs[j]
+			c.serveScenario(sr, int(rr.shard), rr.inst, rr.pc, rr.req, rr.meta)
+		}
+	}
+}
+
+// runScenarioPartitioned is the single-core variant of the parallel engine:
+// it materializes the full per-node partition first, then serves each
+// node's whole sub-stream on its own goroutine. The per-node sub-streams
+// and serve orders are exactly the pipeline's, so the report is
+// bit-identical; only the wall-clock shape differs.
+func (c *Cluster) runScenarioPartitioned(scn workload.Scenario, topo *topology, res *resilience) ScenarioReport {
+	if flat, ok := scn.FlatLoad(); ok && topo == nil && res == nil {
+		return c.runFlatPartitioned(flat, scn)
+	}
 	perNode := make([][]routedScenarioReq, len(c.nodes))
 	var budget int64
 	for _, p := range scn.Phases {
@@ -612,11 +743,6 @@ func (c *Cluster) runScenarioParallel(scn workload.Scenario, topo *topology, res
 	}
 	sr := c.newScenarioRun(scn, topo, res)
 	bounds := c.generateScenario(scn, sr, func(req workload.Request, shard, inst, pc int32, meta resAttempt) {
-		// Partition by the SERVING node: failover hands the request to
-		// the replica's goroutine, preserving arrival order within every
-		// node — which is all a node can observe. Resilience attempts
-		// (retries, hedges, conditional records) partition the same way:
-		// their fate checks are node-local by construction.
 		node := c.shards[shard].instances[inst].node.Index
 		perNode[node] = append(perNode[node], routedScenarioReq{req: req, shard: shard, inst: inst, pc: pc, meta: meta})
 	})
@@ -632,13 +758,65 @@ func (c *Cluster) runScenarioParallel(scn workload.Scenario, topo *topology, res
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for _, rr := range reqs {
+			for k := range reqs {
+				rr := &reqs[k]
 				c.serveScenario(sr, int(rr.shard), rr.inst, rr.pc, rr.req, rr.meta)
 			}
 		}()
 	}
 	wg.Wait()
 	return c.finishScenario(sr, scn, bounds)
+}
+
+// runFlatPartitioned is runScenarioPartitioned specialized to the flat
+// single-phase load with no topology or resilience schedule — every
+// Cluster.Run on one core lands here. On this path the routing metadata is
+// constant (primary instance, no segmentation cell, empty resilience
+// verdict), so the partition stores bare workload.Requests — half the bytes
+// of a routedScenarioReq — and the serving goroutine re-derives the shard
+// from the key, which is exactly how the generation side routed it.
+func (c *Cluster) runFlatPartitioned(flat workload.LoadConfig, scn workload.Scenario) ScenarioReport {
+	sr := c.newScenarioRun(scn, nil, nil)
+	perNode := make([][]workload.Request, len(c.nodes))
+	if flat.Requests > 0 {
+		per := int(flat.Requests)/len(c.nodes) + len(c.nodes)
+		for i := range perNode {
+			perNode[i] = make([]workload.Request, 0, per)
+		}
+	}
+	primary := make([]int32, len(c.shards))
+	for i, sh := range c.shards {
+		primary[i] = int32(sh.node.Index)
+	}
+	d := workload.NewLoadDriver(flat)
+	bound := workload.PhaseBound{Start: flat.Start, End: flat.Start}
+	for {
+		req, ok := d.Next()
+		if !ok {
+			break
+		}
+		n := primary[c.router.ShardForKey(req.Key)]
+		perNode[n] = append(perNode[n], req)
+		bound.End = req.At
+		bound.Requests++
+	}
+	var wg sync.WaitGroup
+	for i := range c.nodes {
+		reqs := perNode[i]
+		if len(reqs) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := range reqs {
+				rr := &reqs[k]
+				c.serveScenario(sr, c.router.ShardForKey(rr.Key), 0, -1, *rr, resAttempt{})
+			}
+		}()
+	}
+	wg.Wait()
+	return c.finishScenario(sr, scn, []workload.PhaseBound{bound})
 }
 
 // finishScenario drains every node's remaining timeline, runs each node to

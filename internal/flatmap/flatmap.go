@@ -7,7 +7,14 @@
 //
 // The table uses linear probing with backward-shift deletion, so there are
 // no tombstones and lookup cost stays bounded by the live load factor no
-// matter how much the key set churns. Iteration order over a Map is a pure
+// matter how much the key set churns. Probing is cache-conscious: occupancy
+// and a 7-bit hash fingerprint per slot live in a separate byte array (SoA,
+// Swiss-table style) scanned eight slots at a time with uint64 word tricks,
+// so a probe run touches one control word and then at most the key slots
+// whose fingerprints match — instead of a key+flag cache line per step. The
+// grouped scan preserves exact first-empty-stop linear-probe semantics, so
+// the slot layout (and therefore Range order) is identical to a slot-by-slot
+// probe of the same operation history. Iteration order over a Map is a pure
 // function of the operation history — two runs that perform the identical
 // operation sequence observe the identical order — which is what the
 // simulator's seed-replay determinism requires. Code on the deterministic
@@ -21,6 +28,8 @@
 package flatmap
 
 import (
+	"encoding/binary"
+	"math/bits"
 	"os"
 	"slices"
 )
@@ -56,20 +65,36 @@ func SetDefaultBackend(b Backend) Backend {
 
 const minCapacity = 8
 
+// groupWidth is how many control bytes one probe step scans (one uint64).
+const groupWidth = 8
+
+const (
+	loBytes uint64 = 0x0101010101010101
+	hiBytes uint64 = 0x8080808080808080
+)
+
 // Map is a hash table from int64 keys to inline values of type V.
 // The zero value is not ready for use; call New.
 type Map[V any] struct {
-	// Flat backend: parallel slot arrays, power-of-two sized. used marks
-	// occupied slots (keys may be any int64, so no key sentinel exists).
+	// Flat backend: parallel slot arrays, power-of-two sized. ctrl holds one
+	// byte per slot — 0 for empty, else 0x80|top-7-hash-bits — plus
+	// groupWidth mirror bytes of slots 0..groupWidth-1 at the end, so an
+	// unaligned 8-byte load starting at any slot sees the wrapped-around
+	// window without masking.
 	keys []int64
 	vals []V
-	used []bool
+	ctrl []byte
 	mask uint64
 	// growAt is the occupancy that triggers a doubling (7/8 load factor —
-	// linear probing with backward-shift stays fast well past 3/4).
+	// linear probing with backward-shift stays fast well past 3/4). It also
+	// guarantees at least one empty slot, which terminates every group scan.
 	growAt int
 
 	n int
+
+	// sink absorbs Prefetch loads so they cannot be optimized away. Written
+	// only by the goroutine owning the Map; never read.
+	sink uint64
 
 	// Fallback backend.
 	m map[int64]V
@@ -97,7 +122,7 @@ func NewBackend[V any](hint int, b Backend) *Map[V] {
 func (m *Map[V]) init(capacity int) {
 	m.keys = make([]int64, capacity)
 	m.vals = make([]V, capacity)
-	m.used = make([]bool, capacity)
+	m.ctrl = make([]byte, capacity+groupWidth)
 	m.mask = uint64(capacity - 1)
 	m.growAt = capacity * 7 / 8
 }
@@ -115,10 +140,40 @@ func hash(k int64) uint64 {
 	return x
 }
 
+// fingerprint derives the control byte from the top hash bits (disjoint
+// from the slot-index bits for all practical table sizes). The occupied bit
+// keeps it nonzero, so 0 unambiguously means empty.
+func fingerprint(h uint64) byte { return byte(h>>57) | 0x80 }
+
+// setCtrl writes a control byte, maintaining the wrap-around mirror of the
+// first group.
+func (m *Map[V]) setCtrl(i uint64, c byte) {
+	m.ctrl[i] = c
+	if i < groupWidth {
+		m.ctrl[uint64(len(m.keys))+i] = c
+	}
+}
+
+// groupMasks scans one control word: match gets the high bit of every byte
+// equal to fp that precedes the first empty slot, empty the high bit of
+// every empty byte. empty is exact (occupied bytes always have the high bit
+// set); match may contain false positives past a true match — callers
+// verify candidates against keys, so a false positive costs one compare.
+func groupMasks(w, fp uint64) (match, empty uint64) {
+	empty = ^w & hiBytes
+	x := w ^ (loBytes * fp)
+	match = (x - loBytes) &^ x & hiBytes
+	// Keep only candidates before the first empty byte: linear probing stops
+	// at the first empty slot. When empty is 0 the subtraction wraps to all
+	// ones and keeps every candidate — branch-free identity.
+	match &= empty - 1
+	return match, empty
+}
+
 // A nil *Map mirrors a nil Go map: reads (Get, Contains, Len, Range,
-// AppendKeys, SortedKeys) see an empty table, Delete and Clear are no-ops,
-// and Put panics — so torn-down owners (service Close sets tables to nil)
-// keep the familiar loud-write / tolerant-read contract.
+// AppendKeys, SortedKeys, Prefetch) see an empty table, Delete and Clear are
+// no-ops, and Put/Swap panic — so torn-down owners (service Close sets
+// tables to nil) keep the familiar loud-write / tolerant-read contract.
 
 // Len returns the number of entries.
 func (m *Map[V]) Len() int {
@@ -141,15 +196,35 @@ func (m *Map[V]) Get(k int64) (V, bool) {
 		v, ok := m.m[k]
 		return v, ok
 	}
-	i := hash(k) & m.mask
-	for m.used[i] {
+	h := hash(k)
+	fp := uint64(fingerprint(h))
+	i := h & m.mask
+	// Home-slot fast path: most hits live at their home slot even near the
+	// load threshold, and a probe starting on an empty home slot is a miss —
+	// both resolve on one control byte before the group machinery spins up.
+	if c := uint64(m.ctrl[i]); c == fp {
 		if m.keys[i] == k {
 			return m.vals[i], true
 		}
-		i = (i + 1) & m.mask
+	} else if c == 0 {
+		var zero V
+		return zero, false
 	}
-	var zero V
-	return zero, false
+	for {
+		match, empty := groupMasks(binary.LittleEndian.Uint64(m.ctrl[i:]), fp)
+		for match != 0 {
+			j := (i + uint64(bits.TrailingZeros64(match)>>3)) & m.mask
+			if m.keys[j] == k {
+				return m.vals[j], true
+			}
+			match &= match - 1
+		}
+		if empty != 0 {
+			var zero V
+			return zero, false
+		}
+		i = (i + groupWidth) & m.mask
+	}
 }
 
 // Contains reports whether k is present.
@@ -161,14 +236,44 @@ func (m *Map[V]) Contains(k int64) bool {
 		_, ok := m.m[k]
 		return ok
 	}
-	i := hash(k) & m.mask
-	for m.used[i] {
+	h := hash(k)
+	fp := uint64(fingerprint(h))
+	i := h & m.mask
+	// Home-slot fast path, as in Get.
+	if c := uint64(m.ctrl[i]); c == fp {
 		if m.keys[i] == k {
 			return true
 		}
-		i = (i + 1) & m.mask
+	} else if c == 0 {
+		return false
 	}
-	return false
+	for {
+		match, empty := groupMasks(binary.LittleEndian.Uint64(m.ctrl[i:]), fp)
+		for match != 0 {
+			j := (i + uint64(bits.TrailingZeros64(match)>>3)) & m.mask
+			if m.keys[j] == k {
+				return true
+			}
+			match &= match - 1
+		}
+		if empty != 0 {
+			return false
+		}
+		i = (i + groupWidth) & m.mask
+	}
+}
+
+// Prefetch warms the cache lines a subsequent Get/Put/Swap of k will touch
+// (the control word and the home key slot). Read-only: it never changes
+// table state, so interleaving Prefetch calls with any operation sequence is
+// behavior-neutral — the batched-admission path issues a Prefetch per
+// request in a small look-ahead window before serving the window.
+func (m *Map[V]) Prefetch(k int64) {
+	if m == nil || m.m != nil {
+		return
+	}
+	i := hash(k) & m.mask
+	m.sink += uint64(m.ctrl[i]) + uint64(m.keys[i])
 }
 
 // Put stores v under k, replacing any existing entry.
@@ -177,39 +282,123 @@ func (m *Map[V]) Put(k int64, v V) {
 		m.m[k] = v
 		return
 	}
-	i := hash(k) & m.mask
-	for m.used[i] {
-		if m.keys[i] == k {
-			m.vals[i] = v
+	h := hash(k)
+	fp := uint64(fingerprint(h))
+	i := h & m.mask
+	// Home-slot fast paths: overwrite-in-place on a home hit, and insert
+	// straight into an empty home slot while below the load threshold (the
+	// first empty slot on the probe path is the home slot itself).
+	if c := uint64(m.ctrl[i]); c == fp && m.keys[i] == k {
+		m.vals[i] = v
+		return
+	} else if c == 0 && m.n < m.growAt {
+		m.setCtrl(i, byte(fp))
+		m.keys[i], m.vals[i] = k, v
+		m.n++
+		return
+	}
+	for {
+		match, empty := groupMasks(binary.LittleEndian.Uint64(m.ctrl[i:]), fp)
+		for match != 0 {
+			j := (i + uint64(bits.TrailingZeros64(match)>>3)) & m.mask
+			if m.keys[j] == k {
+				m.vals[j] = v
+				return
+			}
+			match &= match - 1
+		}
+		if empty != 0 {
+			// k is absent: grow first when at the load threshold (overwrites
+			// above never grow), then find the insertion slot afresh.
+			ins := (i + uint64(bits.TrailingZeros64(empty)>>3)) & m.mask
+			if m.n >= m.growAt {
+				m.grow()
+				ins = m.findInsert(h)
+			}
+			m.setCtrl(ins, byte(fp))
+			m.keys[ins], m.vals[ins] = k, v
+			m.n++
 			return
 		}
-		i = (i + 1) & m.mask
+		i = (i + groupWidth) & m.mask
 	}
-	// k is absent: grow first when at the load threshold (overwrites above
-	// never grow), then find the insertion slot in the fresh table.
-	if m.n >= m.growAt {
-		m.grow()
-		i = hash(k) & m.mask
-		for m.used[i] {
-			i = (i + 1) & m.mask
+}
+
+// Swap stores v under k and returns the previously stored value — Put and
+// Get fused into a single probe for the overwrite-heavy service paths
+// (Redis value replacement, RocksDB memtable upsert).
+func (m *Map[V]) Swap(k int64, v V) (V, bool) {
+	if m.m != nil {
+		prev, ok := m.m[k]
+		m.m[k] = v
+		return prev, ok
+	}
+	h := hash(k)
+	fp := uint64(fingerprint(h))
+	i := h & m.mask
+	// Home-slot fast paths, as in Put.
+	if c := uint64(m.ctrl[i]); c == fp && m.keys[i] == k {
+		prev := m.vals[i]
+		m.vals[i] = v
+		return prev, true
+	} else if c == 0 && m.n < m.growAt {
+		m.setCtrl(i, byte(fp))
+		m.keys[i], m.vals[i] = k, v
+		m.n++
+		var zero V
+		return zero, false
+	}
+	for {
+		match, empty := groupMasks(binary.LittleEndian.Uint64(m.ctrl[i:]), fp)
+		for match != 0 {
+			j := (i + uint64(bits.TrailingZeros64(match)>>3)) & m.mask
+			if m.keys[j] == k {
+				prev := m.vals[j]
+				m.vals[j] = v
+				return prev, true
+			}
+			match &= match - 1
 		}
+		if empty != 0 {
+			ins := (i + uint64(bits.TrailingZeros64(empty)>>3)) & m.mask
+			if m.n >= m.growAt {
+				m.grow()
+				ins = m.findInsert(h)
+			}
+			m.setCtrl(ins, byte(fp))
+			m.keys[ins], m.vals[ins] = k, v
+			m.n++
+			var zero V
+			return zero, false
+		}
+		i = (i + groupWidth) & m.mask
 	}
-	m.keys[i], m.vals[i], m.used[i] = k, v, true
-	m.n++
+}
+
+// findInsert returns the first empty slot on the probe path of h. Only
+// called when h's key is known absent (fresh insert after grow, and grow's
+// reinsert loop, where keys are unique by construction).
+func (m *Map[V]) findInsert(h uint64) uint64 {
+	i := h & m.mask
+	for {
+		empty := ^binary.LittleEndian.Uint64(m.ctrl[i:]) & hiBytes
+		if empty != 0 {
+			return (i + uint64(bits.TrailingZeros64(empty)>>3)) & m.mask
+		}
+		i = (i + groupWidth) & m.mask
+	}
 }
 
 func (m *Map[V]) grow() {
-	oldKeys, oldVals, oldUsed := m.keys, m.vals, m.used
+	oldKeys, oldVals, oldCtrl := m.keys, m.vals, m.ctrl
 	m.init(len(oldKeys) * 2)
-	for i, u := range oldUsed {
-		if !u {
+	for i, c := range oldCtrl[:len(oldKeys)] {
+		if c == 0 {
 			continue
 		}
-		j := hash(oldKeys[i]) & m.mask
-		for m.used[j] {
-			j = (j + 1) & m.mask
-		}
-		m.keys[j], m.vals[j], m.used[j] = oldKeys[i], oldVals[i], true
+		j := m.findInsert(hash(oldKeys[i]))
+		m.setCtrl(j, c)
+		m.keys[j], m.vals[j] = oldKeys[i], oldVals[i]
 	}
 }
 
@@ -228,15 +417,24 @@ func (m *Map[V]) Delete(k int64) (V, bool) {
 		}
 		return v, ok
 	}
-	i := hash(k) & m.mask
+	h := hash(k)
+	fp := uint64(fingerprint(h))
+	i := h & m.mask
+scan:
 	for {
-		if !m.used[i] {
+		match, empty := groupMasks(binary.LittleEndian.Uint64(m.ctrl[i:]), fp)
+		for match != 0 {
+			j := (i + uint64(bits.TrailingZeros64(match)>>3)) & m.mask
+			if m.keys[j] == k {
+				i = j
+				break scan
+			}
+			match &= match - 1
+		}
+		if empty != 0 {
 			return zero, false
 		}
-		if m.keys[i] == k {
-			break
-		}
-		i = (i + 1) & m.mask
+		i = (i + groupWidth) & m.mask
 	}
 	v := m.vals[i]
 	// Backward shift: walk the probe run after i; any entry whose home slot
@@ -244,21 +442,22 @@ func (m *Map[V]) Delete(k int64) (V, bool) {
 	j := i
 	for {
 		j = (j + 1) & m.mask
-		if !m.used[j] {
+		if m.ctrl[j] == 0 {
 			break
 		}
-		h := hash(m.keys[j]) & m.mask
-		// h inside the cyclic half-open interval (i, j] means j's probe
+		hj := hash(m.keys[j]) & m.mask
+		// hj inside the cyclic half-open interval (i, j] means j's probe
 		// path starts after the hole, so j must stay; otherwise it fills it.
-		if ((j - h) & m.mask) < ((j - i) & m.mask) {
+		if ((j - hj) & m.mask) < ((j - i) & m.mask) {
 			continue
 		}
 		m.keys[i], m.vals[i] = m.keys[j], m.vals[j]
+		m.setCtrl(i, m.ctrl[j])
 		i = j
 	}
 	m.keys[i] = 0
 	m.vals[i] = zero // release pointers held by V
-	m.used[i] = false
+	m.setCtrl(i, 0)
 	m.n--
 	return v, true
 }
@@ -279,8 +478,8 @@ func (m *Map[V]) Range(fn func(k int64, v V) bool) {
 		}
 		return
 	}
-	for i, u := range m.used {
-		if u && !fn(m.keys[i], m.vals[i]) {
+	for i := range m.keys {
+		if m.ctrl[i] != 0 && !fn(m.keys[i], m.vals[i]) {
 			return
 		}
 	}
@@ -297,8 +496,8 @@ func (m *Map[V]) AppendKeys(buf []int64) []int64 {
 		}
 		return buf
 	}
-	for i, u := range m.used {
-		if u {
+	for i := range m.keys {
+		if m.ctrl[i] != 0 {
 			buf = append(buf, m.keys[i])
 		}
 	}
@@ -325,6 +524,6 @@ func (m *Map[V]) Clear() {
 	}
 	clear(m.keys)
 	clear(m.vals)
-	clear(m.used)
+	clear(m.ctrl)
 	m.n = 0
 }

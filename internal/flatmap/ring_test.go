@@ -1,0 +1,87 @@
+package flatmap
+
+import "testing"
+
+// TestRingWrapAround drives the head pointer all the way around a
+// fixed-capacity ring so Push writes land below Pop reads, the regime the
+// modular index arithmetic exists for.
+func TestRingWrapAround(t *testing.T) {
+	var r Ring
+	// Fill to exactly minCapacity so no grow happens during the wrap.
+	for i := int64(0); i < minCapacity; i++ {
+		r.Push(i)
+	}
+	if len(r.buf) != minCapacity {
+		t.Fatalf("capacity %d after %d pushes, want %d", len(r.buf), minCapacity, minCapacity)
+	}
+	// Pop one, push one, many times: the window slides through every head
+	// position several times while staying full.
+	next := int64(minCapacity)
+	for step := 0; step < 5*minCapacity; step++ {
+		got, ok := r.Pop()
+		if !ok || got != next-minCapacity {
+			t.Fatalf("step %d: Pop = (%d, %v), want (%d, true)", step, got, ok, next-minCapacity)
+		}
+		r.Push(next)
+		next++
+		if len(r.buf) != minCapacity {
+			t.Fatalf("step %d: ring grew to %d while count constant", step, len(r.buf))
+		}
+	}
+	for want := next - minCapacity; want < next; want++ {
+		got, ok := r.Pop()
+		if !ok || got != want {
+			t.Fatalf("drain: Pop = (%d, %v), want (%d, true)", got, ok, want)
+		}
+	}
+	if r.Len() != 0 {
+		t.Fatalf("Len = %d after drain", r.Len())
+	}
+}
+
+// TestRingGrowWhileWrapped grows the ring at the worst moment: full with the
+// head in the middle, so the live window straddles the physical end of the
+// old buffer and grow must re-linearize it.
+func TestRingGrowWhileWrapped(t *testing.T) {
+	var r Ring
+	for i := int64(0); i < minCapacity; i++ {
+		r.Push(i)
+	}
+	// Advance the head to the middle, refilling to stay full.
+	for i := int64(0); i < minCapacity/2; i++ {
+		r.Pop()
+		r.Push(minCapacity + i)
+	}
+	// Next push grows: FIFO order must survive the wrap re-linearization.
+	first := int64(minCapacity / 2)
+	last := int64(minCapacity + minCapacity/2)
+	r.Push(last)
+	if len(r.buf) != 2*minCapacity {
+		t.Fatalf("capacity %d after grow, want %d", len(r.buf), 2*minCapacity)
+	}
+	if r.head != 0 {
+		t.Fatalf("head %d after grow, want 0 (re-linearized)", r.head)
+	}
+	for want := first; want <= last; want++ {
+		got, ok := r.Pop()
+		if !ok || got != want {
+			t.Fatalf("post-grow Pop = (%d, %v), want (%d, true)", got, ok, want)
+		}
+	}
+	if _, ok := r.Pop(); ok {
+		t.Fatal("Pop succeeded on drained ring")
+	}
+}
+
+// TestRingZeroValue checks the documented zero-value readiness, including a
+// Pop before any Push.
+func TestRingZeroValue(t *testing.T) {
+	var r Ring
+	if _, ok := r.Pop(); ok {
+		t.Fatal("Pop on zero-value ring succeeded")
+	}
+	r.Push(7)
+	if got, ok := r.Pop(); !ok || got != 7 {
+		t.Fatalf("Pop = (%d, %v), want (7, true)", got, ok)
+	}
+}

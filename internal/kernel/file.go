@@ -22,6 +22,11 @@ type File struct {
 	dirty int64
 
 	deleted bool
+
+	// lruChain holds the file's per-list span chains (index 0: active file,
+	// 1: inactive file) — its resumable cursors into the kernel's LRU
+	// arena. Maintained by the lruList operations.
+	lruChain [2]ownerChain
 }
 
 // SizePages returns the file length in pages.

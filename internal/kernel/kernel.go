@@ -443,4 +443,7 @@ func (k *Kernel) CheckInvariants() {
 	if fileLRU != cached {
 		panic(fmt.Sprintf("kernel: file LRU %d != cached %d", fileLRU, cached))
 	}
+	for kind := listActiveAnon; kind <= listInactiveFile; kind++ {
+		k.lru.byKind(kind).checkChains()
+	}
 }

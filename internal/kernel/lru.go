@@ -49,9 +49,25 @@ const nilNode = int32(-1)
 // indices into the owning arena. Replacing container/list, which allocated
 // one heap Element per span, with arena indices makes list surgery
 // allocation-free and keeps the nodes of one kernel contiguous in memory.
+// ownerPrev/ownerNext thread a second, per-owner chain through the same
+// nodes (see ownerChain).
 type spanNode struct {
 	span
 	prev, next int32 // prev is toward the MRU end, next toward the LRU end
+	// ownerPrev/ownerNext link the owner's spans on the same list, in the
+	// same MRU→LRU orientation as prev/next.
+	ownerPrev, ownerNext int32
+}
+
+// ownerChain is one owner's resumable cursor into an LRU list: the head and
+// tail of the owner's spans on that list, threaded through the shared arena
+// via ownerPrev/ownerNext. Owner-targeted scans (removeOwner — file-read
+// promotion, munmap, madvise, fadvise, process exit) follow this chain and
+// touch only the owner's own spans, instead of re-walking every cold span
+// between them from the list tail. Indices are stored +1 so the zero value
+// is the empty chain (owners are plain structs with no constructor hook).
+type ownerChain struct {
+	head1, tail1 int32
 }
 
 // spanArena owns the nodes of all four LRU lists of one kernel and pools
@@ -63,19 +79,20 @@ type spanArena struct {
 }
 
 func (a *spanArena) alloc(sp span) int32 {
+	nd := spanNode{span: sp, prev: nilNode, next: nilNode, ownerPrev: nilNode, ownerNext: nilNode}
 	if n := len(a.free); n > 0 {
 		idx := a.free[n-1]
 		a.free = a.free[:n-1]
-		a.nodes[idx] = spanNode{span: sp, prev: nilNode, next: nilNode}
+		a.nodes[idx] = nd
 		return idx
 	}
-	a.nodes = append(a.nodes, spanNode{span: sp, prev: nilNode, next: nilNode})
+	a.nodes = append(a.nodes, nd)
 	return int32(len(a.nodes) - 1)
 }
 
 // release returns a node to the free pool, dropping its owner references.
 func (a *spanArena) release(idx int32) {
-	a.nodes[idx] = spanNode{prev: nilNode, next: nilNode}
+	a.nodes[idx] = spanNode{prev: nilNode, next: nilNode, ownerPrev: nilNode, ownerNext: nilNode}
 	a.free = append(a.free, idx)
 }
 
@@ -88,10 +105,58 @@ type lruList struct {
 	head  int32 // MRU end
 	tail  int32 // LRU end
 	pages int64
+	// slot selects the owner-chain pair entry for this list: 0 for the
+	// active lists, 1 for the inactive ones (each owner kind is ever on two
+	// lists — anon owners on active/inactive anon, files on active/inactive
+	// file — so a two-entry chain array per owner covers all four lists).
+	slot int
 }
 
 func newLRUList(kind listKind, arena *spanArena) *lruList {
-	return &lruList{kind: kind, arena: arena, head: nilNode, tail: nilNode}
+	slot := 0
+	if kind == listInactiveAnon || kind == listInactiveFile {
+		slot = 1
+	}
+	return &lruList{kind: kind, arena: arena, head: nilNode, tail: nilNode, slot: slot}
+}
+
+// chainOf returns the owner chain this list's slot selects for the node's
+// owner.
+func (l *lruList) chainOf(nd *spanNode) *ownerChain {
+	return l.ownerChain(nd.region, nd.file)
+}
+
+// chainLink inserts the node at the MRU end of its owner's chain —
+// mirroring push, which only inserts at the main-list head, so chain order
+// always agrees with main-list order.
+func (l *lruList) chainLink(idx int32) {
+	nd := &l.arena.nodes[idx]
+	c := l.chainOf(nd)
+	nd.ownerNext = c.head1 - 1
+	if c.head1 != 0 {
+		l.arena.nodes[c.head1-1].ownerPrev = idx
+	}
+	c.head1 = idx + 1
+	if c.tail1 == 0 {
+		c.tail1 = idx + 1
+	}
+}
+
+// chainUnlink detaches the node from its owner's chain (the main-list
+// counterpart is unlink; both precede arena release).
+func (l *lruList) chainUnlink(idx int32) {
+	nd := &l.arena.nodes[idx]
+	c := l.chainOf(nd)
+	if nd.ownerPrev != nilNode {
+		l.arena.nodes[nd.ownerPrev].ownerNext = nd.ownerNext
+	} else {
+		c.head1 = nd.ownerNext + 1
+	}
+	if nd.ownerNext != nilNode {
+		l.arena.nodes[nd.ownerNext].ownerPrev = nd.ownerPrev
+	} else {
+		c.tail1 = nd.ownerPrev + 1
+	}
 }
 
 // unlink detaches the node at idx from the chain (the caller releases it).
@@ -133,6 +198,7 @@ func (l *lruList) push(sp span) {
 	if l.tail == nilNode {
 		l.tail = idx
 	}
+	l.chainLink(idx)
 	l.pages += sp.pages
 }
 
@@ -159,6 +225,7 @@ func (l *lruList) takeTail(max int64, fn func(span)) int64 {
 		taken += n
 		if nd.pages == 0 {
 			l.unlink(idx)
+			l.chainUnlink(idx)
 			l.arena.release(idx)
 		}
 		fn(out)
@@ -167,46 +234,91 @@ func (l *lruList) takeTail(max int64, fn func(span)) int64 {
 }
 
 // removeOwner strips up to max pages belonging to the given owner from the
-// list, scanning from the LRU end. It returns the number of pages removed.
-// Used when pages leave a list for reasons other than reclaim: munmap, heap
-// trim, mlock, fadvise, process exit.
+// list, from the LRU end inward. It returns the number of pages removed.
+// Used when pages leave a list for reasons other than reclaim: file-read
+// promotion, munmap, heap trim, mlock, madvise, fadvise, process exit. The
+// walk follows the owner's chain — the owner's persistent cursor into the
+// arena — so it visits exactly the owner's spans, in the same tail→head
+// order (and with the same results) as the former whole-list scan, without
+// re-walking the cold spans of every other owner in between.
 func (l *lruList) removeOwner(region *Region, file *File, max int64) int64 {
 	if max <= 0 {
 		return 0
 	}
+	c := l.ownerChain(region, file)
 	var removed int64
-	for idx := l.tail; idx != nilNode && removed < max; {
+	for idx := c.tail1 - 1; idx != nilNode && removed < max; {
 		nd := &l.arena.nodes[idx]
-		prev := nd.prev
-		if nd.region == region && nd.file == file {
-			n := nd.pages
-			if n > max-removed {
-				n = max - removed
-			}
-			nd.pages -= n
-			l.pages -= n
-			removed += n
-			if nd.pages == 0 {
-				l.unlink(idx)
-				l.arena.release(idx)
-			}
+		prev := nd.ownerPrev
+		n := nd.pages
+		if n > max-removed {
+			n = max - removed
+		}
+		nd.pages -= n
+		l.pages -= n
+		removed += n
+		if nd.pages == 0 {
+			l.unlink(idx)
+			l.chainUnlink(idx)
+			l.arena.release(idx)
 		}
 		idx = prev
 	}
 	return removed
 }
 
-// ownerPages counts pages on the list belonging to the owner. O(spans);
-// used only in tests and invariant checks.
+// ownerChain resolves the chain for an (region, file) owner pair on this
+// list (exactly one of the two is non-nil, as in span).
+func (l *lruList) ownerChain(region *Region, file *File) *ownerChain {
+	if region != nil {
+		return &region.lruChain[l.slot]
+	}
+	return &file.lruChain[l.slot]
+}
+
+// ownerPages counts pages on the list belonging to the owner. O(owner
+// spans); used only in tests and invariant checks.
 func (l *lruList) ownerPages(region *Region, file *File) int64 {
 	var n int64
-	for idx := l.head; idx != nilNode; idx = l.arena.nodes[idx].next {
-		nd := &l.arena.nodes[idx]
-		if nd.region == region && nd.file == file {
-			n += nd.pages
-		}
+	c := l.ownerChain(region, file)
+	for idx := c.head1 - 1; idx != nilNode; idx = l.arena.nodes[idx].ownerNext {
+		n += l.arena.nodes[idx].pages
 	}
 	return n
+}
+
+// checkChains verifies the owner chains against the main list: walked
+// MRU→LRU, every owner's nodes must appear on that owner's chain in the
+// same order, with matching head/tail anchors. O(spans); invariant checks
+// only.
+func (l *lruList) checkChains() {
+	last := map[*ownerChain]int32{}
+	for idx := l.head; idx != nilNode; idx = l.arena.nodes[idx].next {
+		nd := &l.arena.nodes[idx]
+		c := l.chainOf(nd)
+		prev, seen := last[c]
+		if !seen {
+			if c.head1-1 != idx {
+				panic(fmt.Sprintf("kernel: %v owner chain head %d, want %d", l.kind, c.head1-1, idx))
+			}
+			if nd.ownerPrev != nilNode {
+				panic(fmt.Sprintf("kernel: %v owner chain head %d has ownerPrev %d", l.kind, idx, nd.ownerPrev))
+			}
+		} else {
+			if l.arena.nodes[prev].ownerNext != idx || nd.ownerPrev != prev {
+				panic(fmt.Sprintf("kernel: %v owner chain broken between %d and %d", l.kind, prev, idx))
+			}
+		}
+		last[c] = idx
+	}
+	for c, idx := range last {
+		if c.tail1-1 != idx {
+			panic(fmt.Sprintf("kernel: %v owner chain tail %d, want %d", l.kind, c.tail1-1, idx))
+		}
+		if l.arena.nodes[idx].ownerNext != nilNode {
+			panic(fmt.Sprintf("kernel: %v owner chain tail %d has ownerNext %d", l.kind, idx, l.arena.nodes[idx].ownerNext))
+		}
+	}
 }
 
 // lruSet bundles the four lists over one shared span arena.

@@ -54,6 +54,11 @@ type Region struct {
 	// dead marks a region that has been fully unmapped or whose process
 	// exited; late operations on it are programming errors.
 	dead bool
+
+	// lruChain holds the region's per-list span chains (index 0: active
+	// anon, 1: inactive anon) — its resumable cursors into the kernel's LRU
+	// arena. Maintained by the lruList operations.
+	lruChain [2]ownerChain
 }
 
 // Pages returns the region's virtual size in pages.

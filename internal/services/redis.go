@@ -50,6 +50,16 @@ func (r *Redis) LastPreMapped() bool { return r.lastPreMapped }
 // Insert implements Service: allocate, copy the payload, update the index;
 // an overwrite frees the old value afterwards, as Redis does.
 func (r *Redis) Insert(key, valueBytes int64) simtime.Duration {
+	cost, _ := r.insert(key, valueBytes)
+	return cost
+}
+
+// insert is Insert returning the stored block too, so Query can read the
+// fresh record without a second index probe. The index update is a single
+// Swap probe (insert-or-overwrite plus old-value retrieval in one scan); the
+// overwritten value is freed afterwards, at the same virtual instant the
+// former lookup-then-store sequence freed it.
+func (r *Redis) insert(key, valueBytes int64) (simtime.Duration, *alloc.Block) {
 	if valueBytes <= 0 {
 		panic(fmt.Sprintf("services: insert of %d bytes", valueBytes))
 	}
@@ -60,29 +70,38 @@ func (r *Redis) Insert(key, valueBytes int64) simtime.Duration {
 	cost += r.a.Touch(now.Add(cost), b)
 	cost += copyCost(r.costs, valueBytes)
 	r.lastPreMapped = b.PreMapped
-	if old, ok := r.table.Get(key); ok {
+	if old, ok := r.table.Swap(key, b); ok {
 		size := old.Size // Free recycles the Block; read nothing after it
 		cost += r.a.Free(now.Add(cost), old)
 		r.stored -= size
 	}
-	r.table.Put(key, b)
 	r.stored += valueBytes
-	return cost
+	return cost, b
 }
 
 // Read implements Service: index probe plus payload streaming; values that
 // were swapped out come back in at major-fault cost.
 func (r *Redis) Read(key int64) simtime.Duration {
-	now := r.k.Scheduler().Now()
-	cost := r.costs.IndexCost
 	b, ok := r.table.Get(key)
 	if !ok {
-		return cost
+		return r.costs.IndexCost
 	}
+	return r.readBlock(b)
+}
+
+// readBlock prices a read hit on an already-resolved block: the index probe
+// is still charged (the probe happened, or Query knows the slot), then
+// payload streaming and possible swap-in.
+func (r *Redis) readBlock(b *alloc.Block) simtime.Duration {
+	now := r.k.Scheduler().Now()
+	cost := r.costs.IndexCost
 	cost += readCost(r.costs, b.Size)
 	cost += r.k.Access(now.Add(cost), b.Region, alloc.PagesFor(r.k, b.Size))
 	return cost
 }
+
+// PrefetchKey implements Service.
+func (r *Redis) PrefetchKey(key int64) { r.table.Prefetch(key) }
 
 // Delete implements Service.
 func (r *Redis) Delete(key int64) simtime.Duration {
@@ -101,9 +120,13 @@ func (r *Redis) Delete(key int64) simtime.Duration {
 // by the query's duration so background machinery interleaves.
 func (r *Redis) Query(key, valueBytes int64) (total, ins, rd simtime.Duration) {
 	s := r.k.Scheduler()
-	ins = r.Insert(key, valueBytes)
+	// The read half targets the record the insert half just stored, so the
+	// block flows through directly — same read-hit arithmetic, one index
+	// probe per query instead of three.
+	var b *alloc.Block
+	ins, b = r.insert(key, valueBytes)
 	s.Advance(ins)
-	rd = r.Read(key)
+	rd = r.readBlock(b)
 	s.Advance(rd)
 	overhead := queryOverhead(r.costs, valueBytes)
 	total = workload.JitterRequest(r.k, ins+rd+overhead, r.lastPreMapped)

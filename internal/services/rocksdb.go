@@ -131,6 +131,16 @@ func (r *Rocksdb) Flushes() int64 { return r.flushes }
 // allocator-backed memtable entry. A full memtable flushes synchronously
 // (RocksDB's write stall), writing an SST and freeing the memtable.
 func (r *Rocksdb) Insert(key, valueBytes int64) simtime.Duration {
+	cost, _ := r.insert(key, valueBytes)
+	return cost
+}
+
+// insert is Insert returning the memtable block too (nil when a triggered
+// flush released it), so Query can read the fresh record without re-probing
+// the memtable. The memtable update is a single Swap probe; the records
+// upsert is one Swap plus a fix-up store only for keys that also have a
+// flushed SST version to keep pointing at.
+func (r *Rocksdb) insert(key, valueBytes int64) (simtime.Duration, *alloc.Block) {
 	if valueBytes <= 0 {
 		panic(fmt.Sprintf("services: insert of %d bytes", valueBytes))
 	}
@@ -143,28 +153,30 @@ func (r *Rocksdb) Insert(key, valueBytes int64) simtime.Duration {
 	cost += r.a.Touch(now.Add(cost), b)
 	cost += copyCost(r.costs, valueBytes)
 	r.lastPreMapped = b.PreMapped
-	if old, ok := r.memtable.Get(key); ok {
+	if old, ok := r.memtable.Swap(key, b); ok {
 		size := old.Size // Free recycles the Block; read nothing after it
 		cost += r.a.Free(now.Add(cost), old)
 		r.memBytes -= size
 	}
-	r.memtable.Put(key, b)
 	r.memBytes += valueBytes
 	// stored is the live dataset: the latest size of every live key. An
 	// overwrite replaces the key's previous size (whether that version sat
-	// in the memtable or an SST) with the new one.
-	rec, known := r.records.Get(key)
+	// in the memtable or an SST) with the new one — and keeps the SST
+	// pointer, which stays the fallback copy until the next flush.
+	old, known := r.records.Swap(key, sstRecord{size: valueBytes})
 	if known {
-		r.stored -= rec.size
+		r.stored -= old.size
+		if old.sst != nil {
+			r.records.Put(key, sstRecord{sst: old.sst, size: valueBytes})
+		}
 	}
 	r.stored += valueBytes
-	rec.size = valueBytes
-	r.records.Put(key, rec)
 
 	if r.memBytes >= r.cfg.MemtableBytes {
 		cost += r.flush(now.Add(cost))
+		b = nil // flush freed the memtable blocks
 	}
-	return cost
+	return cost, b
 }
 
 // flush writes the memtable out as one SST file, truncates the WAL and
@@ -201,9 +213,7 @@ func (r *Rocksdb) Read(key int64) simtime.Duration {
 	now := r.k.Scheduler().Now()
 	cost := r.costs.IndexCost
 	if b, ok := r.memtable.Get(key); ok {
-		cost += readCost(r.costs, b.Size)
-		cost += r.k.Access(now.Add(cost), b.Region, alloc.PagesFor(r.k, b.Size))
-		return cost
+		return r.readBlock(b)
 	}
 	if b, ok := r.cache.Get(key); ok {
 		cost += readCost(r.costs, b.Size)
@@ -234,6 +244,25 @@ func (r *Rocksdb) Read(key int64) simtime.Duration {
 		}
 	}
 	return cost
+}
+
+// readBlock prices a read hit on an already-resolved memtable block: the
+// index probe is still charged (the probe happened, or Query knows the
+// slot), then payload streaming and possible swap-in.
+func (r *Rocksdb) readBlock(b *alloc.Block) simtime.Duration {
+	now := r.k.Scheduler().Now()
+	cost := r.costs.IndexCost
+	cost += readCost(r.costs, b.Size)
+	cost += r.k.Access(now.Add(cost), b.Region, alloc.PagesFor(r.k, b.Size))
+	return cost
+}
+
+// PrefetchKey implements Service: warms the home cache lines of every tier
+// a request for key may probe (memtable, block cache, record index).
+func (r *Rocksdb) PrefetchKey(key int64) {
+	r.memtable.Prefetch(key)
+	r.cache.Prefetch(key)
+	r.records.Prefetch(key)
 }
 
 // ImportRecords implements Service: a migration batch lands as one
@@ -317,9 +346,18 @@ func (r *Rocksdb) Delete(key int64) simtime.Duration {
 // as one client-observed latency.
 func (r *Rocksdb) Query(key, valueBytes int64) (total, ins, rd simtime.Duration) {
 	s := r.k.Scheduler()
-	ins = r.Insert(key, valueBytes)
+	// The read half targets the record the insert half just stored: while it
+	// still sits in the memtable (no flush intervened), serve it from the
+	// known block — same memtable-hit arithmetic, one probe less. A flush
+	// falls back to the full tier walk, exactly as a fresh Read would.
+	var b *alloc.Block
+	ins, b = r.insert(key, valueBytes)
 	s.Advance(ins)
-	rd = r.Read(key)
+	if b != nil {
+		rd = r.readBlock(b)
+	} else {
+		rd = r.Read(key)
+	}
 	s.Advance(rd)
 	overhead := queryOverhead(r.costs, valueBytes)
 	total = workload.JitterRequest(r.k, ins+rd+overhead, r.lastPreMapped)

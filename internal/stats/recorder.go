@@ -6,6 +6,7 @@ package stats
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 	"time"
 )
@@ -88,6 +89,17 @@ func (r *Recorder) Merge(o *Recorder) {
 	r.samples = append(r.samples, o.samples...)
 	r.sorted = false
 	r.sum += o.sum
+}
+
+// Reserve grows the raw-mode sample buffer to hold n more samples without
+// reallocation — callers that know a merge fan-in's total size (the cluster
+// engine's canonical fold) avoid the append-doubling copies. No-op in
+// streaming mode.
+func (r *Recorder) Reserve(n int) {
+	if r.hist != nil || n <= 0 {
+		return
+	}
+	r.samples = slices.Grow(r.samples, n)
 }
 
 // Count returns the number of recorded samples.
