@@ -97,6 +97,7 @@ func run() error {
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	scenarioPath := flag.String("scenario", "", "run the scenario spec in this JSON file instead of the flat flag-built load")
 	scale := flag.Float64("scale", 1, "multiply the loaded scenario's durations and request budgets by this factor")
+	static := flag.Bool("static", false, "strip the scenario's policies block: the static baseline for adaptive comparisons")
 	flag.Parse()
 
 	// Benchmarks default to a single-core pin so committed BENCH numbers are
@@ -182,6 +183,7 @@ func run() error {
 			seed:    *seed,
 			seedSet: seedSet,
 			json:    *jsonOut,
+			static:  *static,
 		})
 	}
 
@@ -243,6 +245,7 @@ type scenarioOpts struct {
 	seed    uint64
 	seedSet bool
 	json    bool
+	static  bool
 }
 
 // runScenarioFile loads, validates and runs a scenario spec for each
@@ -268,6 +271,11 @@ func runScenarioFile(cfg hermes.ClusterConfig, kinds []hermes.AllocatorKind, opt
 	}
 	if opts.scale != 1 {
 		scn = scn.Scaled(opts.scale)
+	}
+	if opts.static {
+		// Same chaos, same SLO accounting, no controller: the baseline an
+		// adaptive preset is measured against.
+		scn.Policies = nil
 	}
 	if opts.seedSet {
 		scn.Seed = opts.seed

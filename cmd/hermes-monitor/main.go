@@ -3,11 +3,17 @@
 // proactive reclamation (largest-file-first fadvise) releases the batch
 // cache before the latency-critical service hits the kernel's slow reclaim
 // path. Prints a timeline of free memory, file cache, and daemon activity.
+//
+// With -scenario it instead runs an adaptive scenario on a cluster and
+// prints the control plane's decision timeline: every controller action
+// (shed, batch, allocator, watermark) in virtual-time order, then the SLO
+// compliance the run achieved.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"os"
 	"time"
 
 	hermes "github.com/hermes-sim/hermes"
@@ -16,7 +22,17 @@ import (
 
 func main() {
 	seconds := flag.Int("seconds", 30, "simulated seconds to run")
+	scenario := flag.String("scenario", "", "run this scenario file and print the controller decision timeline")
+	scale := flag.Float64("scale", 1, "multiply the scenario's durations and request budgets by this factor")
 	flag.Parse()
+
+	if *scenario != "" {
+		if err := runAdaptive(*scenario, *scale); err != nil {
+			fmt.Fprintln(os.Stderr, "hermes-monitor:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	cfg := hermes.DefaultNodeConfig()
 	cfg.Kernel.TotalMemory = 8 << 30
@@ -64,4 +80,57 @@ func main() {
 		daemon.Stats().Scans, daemon.Stats().AdviseCalls, daemon.Stats().PagesReleased,
 		daemon.Utilization(node.Now())*100)
 	fmt.Printf("batch: %d jobs completed, %d kills\n", runner.Completed, runner.Kills)
+}
+
+// runAdaptive runs the scenario and prints the adaptive control plane's
+// decision timeline.
+func runAdaptive(path string, scale float64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	spec, err := hermes.ParseScenarioSpec(data)
+	if err != nil {
+		return err
+	}
+	cfg, err := spec.Overrides.Apply(hermes.DefaultClusterConfig())
+	if err != nil {
+		return err
+	}
+	cfg.Seed = spec.Scenario.Seed
+	scn := spec.Scenario
+	if scale != 1 {
+		scn = scn.Scaled(scale)
+	}
+	if scn.Policies == nil {
+		return fmt.Errorf("scenario %q declares no policies: nothing for the control plane to decide", scn.Name)
+	}
+
+	c := hermes.NewCluster(cfg)
+	defer c.Close()
+	rep, err := c.RunScenario(scn)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("scenario %q: %d controller decisions\n\n", scn.Name, len(rep.Actions))
+	fmt.Printf("%-14s %-6s %-10s %s\n", "t", "node", "action", "change")
+	for _, a := range rep.Actions {
+		var change string
+		switch a.Kind {
+		case hermes.ActionShed:
+			change = fmt.Sprintf("shed probability %.2f -> %.2f", a.Old, a.New)
+		case hermes.ActionBatch:
+			change = fmt.Sprintf("batch target %.0fMB -> %.0fMB", a.Old/(1<<20), a.New/(1<<20))
+		case hermes.ActionAllocator:
+			change = fmt.Sprintf("RSV_FACTOR %.2f -> %.2f", a.Old, a.New)
+		case hermes.ActionWatermark:
+			change = fmt.Sprintf("watermark scale %.2f -> %.2f", a.Old, a.New)
+		default:
+			change = fmt.Sprintf("%v -> %v", a.Old, a.New)
+		}
+		fmt.Printf("%-14v %-6d %-10s %s\n", time.Duration(a.At), a.Node, a.Kind, change)
+	}
+	fmt.Printf("\nslo: compliance=%.2f%%\n", rep.SLOCompliance*100)
+	return nil
 }

@@ -164,11 +164,20 @@ type (
 	// SLO declares a scenario's latency objective: a target p99 sampled
 	// over a window, reported as per-node and cluster-wide compliance.
 	SLO = workload.SLO
-	// Policies holds a scenario's SLO-driven control policies; today
-	// that is ShedPolicy — per-node probabilistic load shedding stepped
-	// by windowed p99 breaches.
-	Policies   = workload.Policies
-	ShedPolicy = workload.ShedPolicy
+	// Policies holds a scenario's SLO-driven control policies, the
+	// adaptive control plane's playbook: load shedding, batch-footprint
+	// retargeting, hermes reservation switching and kernel watermark
+	// retuning, each stepped per node on windowed p99 breaches.
+	Policies        = workload.Policies
+	ShedPolicy      = workload.ShedPolicy
+	BatchPolicy     = workload.BatchPolicy
+	AllocatorPolicy = workload.AllocatorPolicy
+	WatermarkPolicy = workload.WatermarkPolicy
+	// ControllerAction is one logged control-plane decision: what changed
+	// on which node at which virtual instant, old value → new value.
+	ControllerAction = cluster.ControllerAction
+	// ActionKind names one controller reconfiguration action.
+	ActionKind = cluster.ActionKind
 	// MigrationRecord is one record of a shard-migration batch — the unit
 	// Service.ImportRecords ingests and Service.ExportRecords emits.
 	MigrationRecord = services.ImportEntry
@@ -197,6 +206,14 @@ const (
 	AllocHermes    = cluster.AllocHermes
 	ServiceRedis   = cluster.ServiceRedis
 	ServiceRocksdb = cluster.ServiceRocksdb
+)
+
+// Control-plane action kinds for ControllerAction.Kind.
+const (
+	ActionShed      = cluster.ActionShed
+	ActionBatch     = cluster.ActionBatch
+	ActionAllocator = cluster.ActionAllocator
+	ActionWatermark = cluster.ActionWatermark
 )
 
 // Stats modes for ClusterConfig.Stats.

@@ -118,7 +118,8 @@ type Runner struct {
 	Kills    int64
 	OOMKills int64
 
-	stopped bool
+	retargets int64
+	stopped   bool
 }
 
 // NewRunner starts the batch workload. Stop halts it.
@@ -135,6 +136,53 @@ func NewRunner(k *kernel.Kernel, cfg Config) *Runner {
 	}
 	r.task = simtime.NewPeriodicTask(k.Scheduler(), cfg.TickPeriod, r.tick)
 	return r
+}
+
+// TargetBytes returns the runner's current combined anonymous footprint
+// target.
+func (r *Runner) TargetBytes() int64 { return r.cfg.TargetBytes }
+
+// Retargets counts mid-run footprint changes applied through Retarget.
+func (r *Runner) Retargets() int64 { return r.retargets }
+
+// Retarget moves the runner's combined anonymous footprint to bytes
+// mid-run — the adaptive control plane's batch-sizing action. Every
+// container's per-container target moves to the new split: a shrinking
+// container munmaps its trailing excess immediately (anonymous pages and
+// swap slots free on the spot), a growing one extends its VMA and
+// re-enters the ramp, and dead containers restart at the new size on
+// their next tick. Node-local and deterministic.
+func (r *Runner) Retarget(now simtime.Time, bytes int64) {
+	if r.stopped || bytes < 0 || bytes == r.cfg.TargetBytes {
+		return
+	}
+	r.cfg.TargetBytes = bytes
+	r.retargets++
+	pages := bytes / int64(r.cfg.Jobs) / int64(r.cfg.ContainersPerJob) / r.k.PageSize()
+	for _, j := range r.jobs {
+		for _, c := range j.containers {
+			c.target = pages
+			if c.proc.Dead() {
+				continue // restarts at the new target next tick
+			}
+			switch {
+			case c.region == nil:
+				if pages > 0 {
+					c.region, _ = r.k.Mmap(now, c.proc, pages)
+				}
+			case c.region.Pages() > pages:
+				r.k.Munmap(now, c.region, c.region.Pages()-pages)
+				if pages == 0 {
+					c.region = nil // fully released: the VMA is gone
+				}
+				if c.ramped > pages {
+					c.ramped = pages
+				}
+			case c.region.Pages() < pages:
+				r.k.MremapGrow(now, c.region, pages-c.region.Pages())
+			}
+		}
+	}
 }
 
 // PIDs returns the PIDs of all live batch containers — the set the

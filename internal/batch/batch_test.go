@@ -151,3 +151,54 @@ func TestInvalidConfigPanics(t *testing.T) {
 	}()
 	NewRunner(k, cfg)
 }
+
+// TestRetargetShrinkAndGrow drives the control plane's batch action
+// through a full throttle cycle: shrink releases the trailing excess
+// immediately (free pages come back, kernel invariants hold), grow re-
+// enters the ramp back to the configured footprint, and the retarget
+// counter records both moves.
+func TestRetargetShrinkAndGrow(t *testing.T) {
+	k, s := newNode(t)
+	r := NewRunner(k, testConfig())
+	defer r.Stop()
+	s.Advance(simtime.Second) // ramp to the configured footprint
+	full := k.FreePages()
+
+	r.Retarget(s.Now(), 128<<20)
+	if got := r.TargetBytes(); got != 128<<20 {
+		t.Fatalf("target = %d after shrink, want %d", got, int64(128<<20))
+	}
+	k.CheckInvariants()
+	// Stall-extended ticks mean the ramp may not be complete at the shrink
+	// instant; the excess that *was* faulted must come back immediately.
+	if freed := k.FreePages() - full; freed*k.PageSize() < 128<<20 {
+		t.Fatalf("shrink released only %d MB immediately", freed*k.PageSize()>>20)
+	}
+
+	r.Retarget(s.Now(), 512<<20)
+	s.Advance(simtime.Second) // re-ramp
+	k.CheckInvariants()
+	if regained := full - k.FreePages(); regained*k.PageSize() < -(64 << 20) {
+		t.Fatalf("grow did not re-ramp (free %d pages above the full-ramp level)", regained)
+	}
+	used := (k.TotalPages() - k.FreePages()) * k.PageSize()
+	if used < 256<<20 {
+		t.Fatalf("batch used only %d MB after re-growing", used>>20)
+	}
+	if got := r.Retargets(); got != 2 {
+		t.Fatalf("retargets = %d, want 2", got)
+	}
+
+	// A no-op retarget (same bytes) must not count.
+	r.Retarget(s.Now(), 512<<20)
+	if got := r.Retargets(); got != 2 {
+		t.Fatalf("no-op retarget counted: %d", got)
+	}
+
+	// Retarget after Stop is inert.
+	r.Stop()
+	r.Retarget(s.Now(), 64<<20)
+	if got := r.Retargets(); got != 2 {
+		t.Fatalf("retarget after stop counted: %d", got)
+	}
+}

@@ -259,7 +259,11 @@ type Node struct {
 	runner   *batch.Runner
 	refresh  *simtime.PeriodicTask
 	squeeze  *kernel.Process
-	closers  []func()
+	// hermes lists the node's hermes allocators (creation order) so the
+	// adaptive control plane can retune their policy mid-run; empty for
+	// every other allocator kind.
+	hermes  []*core.Hermes
+	closers []func()
 }
 
 // Kernel returns the node's simulated memory subsystem.
@@ -503,7 +507,9 @@ func (c *Cluster) newAllocator(n *Node, name string) alloc.Allocator {
 	case AllocTCMalloc:
 		return tcmalloc.New(n.kernel, name, tcmalloc.DefaultConfig())
 	case AllocHermes:
-		return core.NewWithRegistry(n.kernel, name, c.cfg.Hermes, n.registry, true)
+		h := core.NewWithRegistry(n.kernel, name, c.cfg.Hermes, n.registry, true)
+		n.hermes = append(n.hermes, h)
+		return h
 	default:
 		return glibcmalloc.New(n.kernel, name, glibcmalloc.DefaultConfig())
 	}
@@ -576,6 +582,9 @@ type NodeReport struct {
 	// SLOCompliance is the fraction of this node's served requests within
 	// the scenario's SLO target (1 when no SLO is declared).
 	SLOCompliance float64
+	// Actions is the node's controller action log in firing order (empty
+	// on runs without a policies block).
+	Actions []ControllerAction
 }
 
 // Report is the digest of one cluster run.
@@ -614,6 +623,9 @@ type Report struct {
 	// SLOCompliance is the fraction of served requests at or under it.
 	SLOTarget     simtime.Duration
 	SLOCompliance float64
+	// Actions is the cluster-wide controller action log, merged across
+	// nodes by virtual instant (empty on runs without a policies block).
+	Actions []ControllerAction
 	// PerNode and PerShard are the sliced digests.
 	PerNode  []NodeReport
 	PerShard []stats.Summary
@@ -643,6 +655,9 @@ func (r Report) Render() string {
 			fmt.Fprintf(&b, "slo: p99<=%v compliance=%.2f%%\n", r.SLOTarget, r.SLOCompliance*100)
 		}
 	}
+	if len(r.Actions) > 0 {
+		b.WriteString(renderActions("controller", r.Actions))
+	}
 	b.WriteString("per node:\n")
 	for _, n := range r.PerNode {
 		fmt.Fprintf(&b, "  %s  shards=%-3d reclaims=%-6d swapouts=%-8d %s\n",
@@ -655,12 +670,35 @@ func (r Report) Render() string {
 			fmt.Fprintf(&b, "    resilience: retries=%d timeouts=%d errors=%d hedges=%d shed=%d failed=%d compliance=%.2f%%\n",
 				n.Retries, n.Timeouts, n.Errors, n.Hedges, n.Shed, n.Failed, n.SLOCompliance*100)
 		}
+		if len(n.Actions) > 0 {
+			b.WriteString("    " + renderActions("controller", n.Actions))
+		}
 	}
 	b.WriteString("per shard:\n")
 	for _, s := range r.PerShard {
 		fmt.Fprintf(&b, "  %s\n", s)
 	}
 	return b.String()
+}
+
+// renderActions renders one action-log summary line: total plus per-kind
+// counts.
+func renderActions(label string, acts []ControllerAction) string {
+	var shed, batch, alc, wm int
+	for _, a := range acts {
+		switch a.Kind {
+		case ActionShed:
+			shed++
+		case ActionBatch:
+			batch++
+		case ActionAllocator:
+			alc++
+		case ActionWatermark:
+			wm++
+		}
+	}
+	return fmt.Sprintf("%s: actions=%d (shed=%d batch=%d allocator=%d watermark=%d)\n",
+		label, len(acts), shed, batch, alc, wm)
 }
 
 // fmtBytes renders a byte count at MiB/KiB/B granularity for report tables.

@@ -1,0 +1,236 @@
+package cluster
+
+import (
+	"github.com/hermes-sim/hermes/internal/batch"
+	"github.com/hermes-sim/hermes/internal/monitor"
+	"github.com/hermes-sim/hermes/internal/simtime"
+	"github.com/hermes-sim/hermes/internal/workload"
+	"github.com/hermes-sim/hermes/internal/workload/randgen"
+)
+
+// This file is the adaptive control plane: one deterministic controller
+// per node that watches the node's served latencies through a
+// monitor.Tracker (a windowed histogram on the virtual timeline) and, at
+// every window boundary, fires the scenario's declared policy actions —
+// load shedding (PR 7's shed controller, now one action among several),
+// batch retargeting, kernel watermark retuning, and hermes
+// reservation-factor switching.
+//
+// Determinism argument. A controller's entire trajectory is a pure
+// function of (the node's own arrival-ordered latency stream, the virtual
+// instant, a per-node domain-separated randgen stream): windows roll
+// lazily at admission on the arrival instant, verdicts read only the
+// node-local histogram, and the only randomness is the shed draw from the
+// node's own stream. Every action mutates machinery owned by that node —
+// its kernel's watermarks, its batch runner's containers, its shards'
+// hermes allocators — so nothing a controller does is visible to another
+// node. Both engines therefore run bit-identical controller trajectories,
+// by the same argument as the resilience layer. One modeling note: a
+// window boundary is detected at the next arrival that crosses it, so an
+// action fires just before that arrival's service — after the node's
+// timeline events up to the arrival, before background machinery catches
+// up to it. That ordering is identical on both engines.
+
+// ActionKind names one controller reconfiguration action.
+type ActionKind string
+
+const (
+	// ActionShed is an admission-control step: Old/New are shed
+	// probabilities.
+	ActionShed ActionKind = "shed"
+	// ActionBatch is a batch-footprint retarget: Old/New are target bytes.
+	ActionBatch ActionKind = "batch"
+	// ActionAllocator is a hermes reservation-factor switch: Old/New are
+	// RSV_FACTOR values.
+	ActionAllocator ActionKind = "allocator"
+	// ActionWatermark is a kernel watermark rescale: Old/New are scales of
+	// the boot-time heuristic.
+	ActionWatermark ActionKind = "watermark"
+)
+
+// ControllerAction is one logged control-plane decision: what changed on
+// which node at which virtual instant, old value → new value. Units
+// depend on Kind (see the ActionKind constants).
+type ControllerAction struct {
+	At   simtime.Time
+	Node int
+	Kind ActionKind
+	Old  float64
+	New  float64
+}
+
+// controller is one node's adaptive control plane. It generalizes PR 7's
+// shedCtl: the shed path keeps that controller's exact step rule, stream
+// and draw sequence, so scenarios that declare only a shed policy replay
+// the PR 7 trajectories bit-for-bit.
+type controller struct {
+	c  *Cluster
+	n  *Node
+	tr *monitor.Tracker
+	// rng draws admission verdicts; consumed only while shedP > 0, so
+	// non-shed policies never perturb the draw sequence.
+	rng *randgen.Stream
+	pol workload.Policies
+
+	shedP float64
+
+	// batchScale tracks the throttled fraction of the runner's configured
+	// footprint; batchBase/batchOwner pin the base so a batch-start event
+	// mid-run re-anchors cleanly on the replacement runner.
+	batchScale float64
+	batchBase  int64
+	batchOwner *batch.Runner
+
+	wmScale float64
+
+	// conservative marks the allocator switch state; allocBase is the
+	// configured factor captured from the node's allocators at first
+	// switch.
+	conservative bool
+	allocBase    float64
+
+	log []ControllerAction
+}
+
+// newController builds node `node`'s controller for the scenario; the
+// caller guarantees scn.SLO and scn.Policies are set.
+func newController(c *Cluster, scn workload.Scenario, node int) *controller {
+	return &controller{
+		c: c,
+		n: c.nodes[node],
+		tr: monitor.NewTracker(scn.Start, scn.SLO.Window, scn.SLO.P99,
+			int64(scn.SLO.SamplesFloor())),
+		rng:        randgen.Split(scn.Seed, streamShedCtl^uint64(node)),
+		pol:        *scn.Policies,
+		batchScale: 1,
+		wmScale:    1,
+	}
+}
+
+// admit rolls the window to the arrival, firing any due actions, and
+// draws the admission verdict (always true without a shed policy).
+func (ctl *controller) admit(at simtime.Time) bool {
+	ctl.roll(at)
+	if ctl.shedP > 0 && ctl.rng.Float64() < ctl.shedP {
+		return false
+	}
+	return true
+}
+
+// observe records a served latency into the arrival's window.
+func (ctl *controller) observe(lat simtime.Duration) { ctl.tr.Observe(lat) }
+
+// roll closes every window boundary the arrival crossed and fires the
+// enabled policy actions on each verdict.
+func (ctl *controller) roll(at simtime.Time) {
+	ctl.tr.Roll(at, ctl.act)
+}
+
+// act fires every enabled policy at one window boundary: a breached
+// window tightens (more shedding, smaller batch footprint, higher
+// watermarks, conservative reservation), a healthy or sparse one relaxes
+// back toward the configured state — recovery releases every brake.
+func (ctl *controller) act(at simtime.Time, breached bool) {
+	if p := ctl.pol.Shed; p != nil {
+		old := ctl.shedP
+		if breached {
+			if ctl.shedP += p.Step; ctl.shedP > p.Max {
+				ctl.shedP = p.Max
+			}
+		} else if ctl.shedP > 0 {
+			if ctl.shedP -= p.Step; ctl.shedP < 0 {
+				ctl.shedP = 0
+			}
+		}
+		if ctl.shedP != old {
+			ctl.logAction(at, ActionShed, old, ctl.shedP)
+		}
+	}
+	if p := ctl.pol.Batch; p != nil {
+		if breached {
+			if ctl.batchScale -= p.Step; ctl.batchScale < p.Min {
+				ctl.batchScale = p.Min
+			}
+		} else if ctl.batchScale < 1 {
+			if ctl.batchScale += p.Step; ctl.batchScale > 1 {
+				ctl.batchScale = 1
+			}
+		}
+		ctl.retargetBatch(at)
+	}
+	if p := ctl.pol.Watermark; p != nil {
+		old := ctl.wmScale
+		if breached {
+			if ctl.wmScale += p.Step; ctl.wmScale > p.Max {
+				ctl.wmScale = p.Max
+			}
+		} else if ctl.wmScale > 1 {
+			if ctl.wmScale -= p.Step; ctl.wmScale < 1 {
+				ctl.wmScale = 1
+			}
+		}
+		if ctl.wmScale != old {
+			ctl.n.kernel.SetWatermarkScale(ctl.wmScale)
+			ctl.logAction(at, ActionWatermark, old, ctl.wmScale)
+		}
+	}
+	if p := ctl.pol.Allocator; p != nil && breached != ctl.conservative {
+		ctl.switchAllocators(at, breached, p.Conservative)
+	}
+}
+
+// retargetBatch drives the node's batch runner to batchScale × its
+// configured footprint. Applied (and re-checked) at every boundary rather
+// than only on scale changes, so a runner replaced by a batch-start event
+// picks up the current throttle at the next window.
+func (ctl *controller) retargetBatch(at simtime.Time) {
+	r := ctl.n.runner
+	if r == nil {
+		ctl.batchOwner = nil
+		return
+	}
+	if r != ctl.batchOwner {
+		// First sight of this runner: its configured footprint is the base
+		// the throttle scales.
+		ctl.batchOwner = r
+		ctl.batchBase = r.TargetBytes()
+	}
+	want := int64(float64(ctl.batchBase) * ctl.batchScale)
+	old := r.TargetBytes()
+	if want == old {
+		return
+	}
+	r.Retarget(ctl.n.sched.Now(), want)
+	ctl.logAction(at, ActionBatch, float64(old), float64(want))
+}
+
+// switchAllocators flips every hermes allocator on the node between the
+// configured reservation factor and the policy's conservative one. A
+// no-op (and unlogged) on nodes without hermes allocators.
+func (ctl *controller) switchAllocators(at simtime.Time, conservative bool, factor float64) {
+	ctl.conservative = conservative
+	if len(ctl.n.hermes) == 0 {
+		return
+	}
+	if ctl.allocBase == 0 {
+		ctl.allocBase = ctl.n.hermes[0].ReservationFactor()
+	}
+	to := ctl.allocBase
+	if conservative {
+		to = factor
+	}
+	old := ctl.n.hermes[0].ReservationFactor()
+	if to == old {
+		return
+	}
+	for _, h := range ctl.n.hermes {
+		h.SetReservationFactor(to)
+	}
+	ctl.logAction(at, ActionAllocator, old, to)
+}
+
+func (ctl *controller) logAction(at simtime.Time, kind ActionKind, old, new float64) {
+	ctl.log = append(ctl.log, ControllerAction{
+		At: at, Node: ctl.n.Index, Kind: kind, Old: old, New: new,
+	})
+}

@@ -1,0 +1,235 @@
+package cluster
+
+import (
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/hermes-sim/hermes/internal/batch"
+	"github.com/hermes-sim/hermes/internal/simtime"
+	"github.com/hermes-sim/hermes/internal/workload"
+)
+
+// adaptivePolicies declares all four control-plane actions, the full
+// playbook the chaos matrix must keep deterministic.
+func adaptivePolicies() *workload.Policies {
+	return &workload.Policies{
+		Shed:      &workload.ShedPolicy{Step: 0.25, Max: 0.9},
+		Batch:     &workload.BatchPolicy{Step: 0.25, Min: 0.25},
+		Allocator: &workload.AllocatorPolicy{Conservative: 1.0},
+		Watermark: &workload.WatermarkPolicy{Step: 0.5, Max: 3},
+	}
+}
+
+// controlPlaneScenario is the chaos-matrix scenario: a batch co-tenant to
+// retarget, a degrade that breaches the SLO, a fault window over the
+// breach, and a kill/restore cycle on a second node — all while every
+// policy is armed.
+func controlPlaneScenario(degrade, kill int) workload.Scenario {
+	classes := []workload.TrafficClass{
+		{Name: "point", Rate: 120_000, Keys: 6_000, ReadFraction: 0.5, ValueBytes: 4 << 10,
+			Resilience: &workload.Resilience{Timeout: 60 * simtime.Microsecond, Retries: 1,
+				Backoff: 30 * simtime.Microsecond, Jitter: 0.2, Hedge: 40 * simtime.Microsecond}},
+	}
+	return workload.Scenario{
+		Name: "control-plane-chaos",
+		Seed: 13,
+		Phases: []workload.Phase{
+			{Name: "steady", Duration: 30 * simtime.Millisecond, Classes: classes},
+			{Name: "brownout", Duration: 90 * simtime.Millisecond, Classes: classes},
+			{Name: "recovered", Duration: 30 * simtime.Millisecond, Classes: classes},
+		},
+		Events: []workload.Event{
+			{At: 10 * simtime.Millisecond, Node: -1, Kind: workload.EventBatchStart,
+				Batch: &batch.Config{Jobs: 2, ContainersPerJob: 4, TargetBytes: 256 << 20,
+					InputBytes: 32 << 20, WorkDuration: 80 * simtime.Millisecond,
+					RampTicks: 4, TickPeriod: 5 * simtime.Millisecond}},
+			{At: 30 * simtime.Millisecond, Node: degrade, Kind: workload.EventDegradeNode, Factor: 12},
+			{At: 40 * simtime.Millisecond, Node: degrade, Kind: workload.EventFaultWindow,
+				ErrorRate: 0.25, Duration: 40 * simtime.Millisecond},
+			{At: 60 * simtime.Millisecond, Node: kill, Kind: workload.EventKillNode},
+			{At: 90 * simtime.Millisecond, Node: kill, Kind: workload.EventRestoreNode},
+			{At: 120 * simtime.Millisecond, Node: degrade, Kind: workload.EventHealNode},
+		},
+		SLO:      &workload.SLO{P99: 100 * simtime.Microsecond, Window: 5 * simtime.Millisecond},
+		Policies: adaptivePolicies(),
+	}
+}
+
+// TestControlPlaneEngineIdentity locks the determinism claim in the regime
+// that stresses it most: every policy armed inside the degrade × fault ×
+// kill/restore chaos matrix. Both engines must produce DeepEqual reports —
+// including the controller action logs — and replaying the seed on the
+// same engine must reproduce the run bit for bit.
+func TestControlPlaneEngineIdentity(t *testing.T) {
+	cfg := drillConfig(ServiceRedis, AllocHermes)
+	degrade := primaryHeavyNode(cfg)
+	kill := (degrade + 1) % cfg.Nodes
+	scn := controlPlaneScenario(degrade, kill)
+
+	par := runScenario(t, cfg, scn)
+	replay := runScenario(t, cfg, scn)
+	if !reflect.DeepEqual(par, replay) {
+		t.Fatal("seed replay diverged on the parallel engine")
+	}
+	cfg.Sequential = true
+	seq := runScenario(t, cfg, scn)
+	if !reflect.DeepEqual(par, seq) {
+		t.Fatalf("control-plane chaos run diverged between engines:\npar: %+v\nseq: %+v", par, seq)
+	}
+	if len(par.Actions) == 0 {
+		t.Fatal("chaos run logged no controller actions")
+	}
+}
+
+// TestControlPlaneActionsBite verifies each declared policy actually fires
+// and actually moves its machinery: the action log must contain every
+// kind, the batch runner must have been retargeted, the degraded node's
+// kernel watermarks must have been rescaled, and its hermes allocators
+// must have switched reservation factors.
+func TestControlPlaneActionsBite(t *testing.T) {
+	cfg := drillConfig(ServiceRedis, AllocHermes)
+	degrade := primaryHeavyNode(cfg)
+	kill := (degrade + 1) % cfg.Nodes
+	scn := controlPlaneScenario(degrade, kill)
+
+	c := New(cfg)
+	defer c.Close()
+	rep, err := c.RunScenario(scn)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	kinds := map[ActionKind]int{}
+	for _, a := range rep.Actions {
+		kinds[a.Kind]++
+		if a.Old == a.New {
+			t.Errorf("no-op action logged: %+v", a)
+		}
+	}
+	for _, k := range []ActionKind{ActionShed, ActionBatch, ActionAllocator, ActionWatermark} {
+		if kinds[k] == 0 {
+			t.Errorf("action kind %q never fired", k)
+		}
+	}
+
+	// The cluster-wide log must be the per-node logs merged in virtual-time
+	// order.
+	perNode := 0
+	for _, nr := range rep.PerNode {
+		perNode += len(nr.Actions)
+	}
+	if perNode != len(rep.Actions) {
+		t.Errorf("per-node logs hold %d actions, cluster log %d", perNode, len(rep.Actions))
+	}
+	for i := 1; i < len(rep.Actions); i++ {
+		if rep.Actions[i].At.Before(rep.Actions[i-1].At) {
+			t.Errorf("cluster action log out of order at %d: %v after %v",
+				i, rep.Actions[i].At, rep.Actions[i-1].At)
+		}
+	}
+
+	// The batch runner really moved: its retarget counter is the ground
+	// truth the action log must agree with.
+	var retargets int64
+	for _, n := range c.nodes {
+		if n.runner != nil {
+			retargets += n.runner.Retargets()
+		}
+	}
+	if retargets == 0 {
+		t.Error("batch runner was never retargeted despite logged batch actions")
+	}
+
+	// Watermark and allocator state on the degraded node reflect the last
+	// logged action for that node.
+	n := c.nodes[degrade]
+	var lastWM, lastRSV float64
+	for _, a := range rep.PerNode[degrade].Actions {
+		switch a.Kind {
+		case ActionWatermark:
+			lastWM = a.New
+		case ActionAllocator:
+			lastRSV = a.New
+		}
+	}
+	if lastWM != 0 && n.kernel.WatermarkScale() != lastWM {
+		t.Errorf("kernel watermark scale %v, last logged action says %v", n.kernel.WatermarkScale(), lastWM)
+	}
+	if lastRSV != 0 && len(n.hermes) > 0 && n.hermes[0].ReservationFactor() != lastRSV {
+		t.Errorf("hermes RSV_FACTOR %v, last logged action says %v", n.hermes[0].ReservationFactor(), lastRSV)
+	}
+
+	if out := rep.Render(); !strings.Contains(out, "controller:") {
+		t.Error("report renders no controller summary")
+	}
+}
+
+// TestAllocatorPolicyRequiresHermes pins the validation: an allocator
+// policy on a cluster without hermes allocators is a configuration error,
+// named as such.
+func TestAllocatorPolicyRequiresHermes(t *testing.T) {
+	cfg := drillConfig(ServiceRedis, AllocGlibc)
+	scn := controlPlaneScenario(0, 1)
+	c := New(cfg)
+	defer c.Close()
+	_, err := c.RunScenario(scn)
+	if err == nil {
+		t.Fatal("allocator policy on a glibc cluster validated")
+	}
+	if !strings.Contains(err.Error(), "allocator policy requires the hermes allocator") {
+		t.Fatalf("error does not name the allocator policy: %v", err)
+	}
+}
+
+// TestAdaptiveBrownoutBeatsStatic is the committed preset's acceptance
+// check: at smoke scale, the adaptive run must beat the identical run with
+// its policies stripped on SLO compliance, and both engines must agree on
+// the adaptive run bit for bit.
+func TestAdaptiveBrownoutBeatsStatic(t *testing.T) {
+	data, err := os.ReadFile("../../examples/scenarios/adaptive-brownout.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := ParseScenarioSpec(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Overrides == nil || spec.Overrides.Allocator != AllocHermes {
+		t.Fatal("adaptive-brownout preset must pin the hermes allocator (the allocator policy needs it)")
+	}
+	pol := spec.Scenario.Policies
+	if spec.Scenario.SLO == nil || pol == nil ||
+		pol.Shed == nil || pol.Batch == nil || pol.Allocator == nil || pol.Watermark == nil {
+		t.Fatal("adaptive-brownout preset must declare an SLO and all four policies")
+	}
+	cfg, err := spec.Overrides.Apply(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Seed = spec.Scenario.Seed
+	scn := spec.Scenario.Scaled(0.05)
+
+	adaptive := runScenario(t, cfg, scn)
+	cfg.Sequential = true
+	seq := runScenario(t, cfg, scn)
+	if !reflect.DeepEqual(adaptive, seq) {
+		t.Fatal("adaptive preset diverged between engines")
+	}
+	cfg.Sequential = false
+
+	static := scn
+	static.Policies = nil
+	staticRep := runScenario(t, cfg, static)
+	if len(staticRep.Actions) != 0 {
+		t.Fatalf("static run logged %d controller actions without a policies block", len(staticRep.Actions))
+	}
+	if len(adaptive.Actions) == 0 {
+		t.Fatal("adaptive preset logged no controller actions")
+	}
+	if adaptive.SLOCompliance <= staticRep.SLOCompliance {
+		t.Fatalf("adaptive preset does not beat static degradation: compliance %.4f adaptive, %.4f static",
+			adaptive.SLOCompliance, staticRep.SLOCompliance)
+	}
+}

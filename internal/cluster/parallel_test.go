@@ -24,7 +24,7 @@ func reportsEqual(t *testing.T, seq, par Report) {
 		t.Errorf("wait digest differs:\nseq %v\npar %v", seq.Wait, par.Wait)
 	}
 	for i := range seq.PerNode {
-		if seq.PerNode[i] != par.PerNode[i] {
+		if !reflect.DeepEqual(seq.PerNode[i], par.PerNode[i]) {
 			t.Errorf("node %d differs:\nseq %+v\npar %+v", i, seq.PerNode[i], par.PerNode[i])
 		}
 	}

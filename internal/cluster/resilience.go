@@ -5,7 +5,6 @@ import (
 	"sort"
 
 	"github.com/hermes-sim/hermes/internal/simtime"
-	"github.com/hermes-sim/hermes/internal/stats"
 	"github.com/hermes-sim/hermes/internal/workload"
 	"github.com/hermes-sim/hermes/internal/workload/randgen"
 )
@@ -103,9 +102,9 @@ type resilience struct {
 	classOff   []int
 	anyPolicy  bool // at least one class has an active policy
 	slo        *workload.SLO
-	shed       *workload.ShedPolicy
-	faults     *randgen.Stream // error verdicts (generation time)
-	jit        *randgen.Stream // backoff jitter (generation time)
+	pol        *workload.Policies // control-plane policies (controlplane.go)
+	faults     *randgen.Stream    // error verdicts (generation time)
+	jit        *randgen.Stream    // backoff jitter (generation time)
 }
 
 // classFor returns the lowered policy for a (phase, class) cell.
@@ -165,9 +164,7 @@ func (c *Cluster) newResilience(scn workload.Scenario) (*resilience, error) {
 		faults:     randgen.Split(scn.Seed, streamFaultDraws),
 		jit:        randgen.Split(scn.Seed, streamRetryJit),
 	}
-	if scn.Policies != nil {
-		r.shed = scn.Policies.Shed
-	}
+	r.pol = scn.Policies
 	for _, p := range scn.Phases {
 		r.classOff = append(r.classOff, len(r.class))
 		for _, tc := range p.Classes {
@@ -248,65 +245,9 @@ func (c *Cluster) newResilience(scn workload.Scenario) (*resilience, error) {
 	return r, nil
 }
 
-// shedCtl is one node's SLO controller: a windowed latency histogram read
-// at every window boundary, a shed probability stepped on breach/recovery,
-// and a per-node stream for the shed draws. All of its state advances in
-// the node's own arrival order, so both engines run the identical
-// controller trajectory.
-type shedCtl struct {
-	hist  *stats.Histogram
-	widx  int64 // current window index since scenario start
-	shedP float64
-	rng   *randgen.Stream
-	slo   workload.SLO
-	pol   workload.ShedPolicy
-	start simtime.Time
-}
-
-func newShedCtl(scn workload.Scenario, node int) *shedCtl {
-	return &shedCtl{
-		hist:  stats.NewHistogram(),
-		rng:   randgen.Split(scn.Seed, streamShedCtl^uint64(node)),
-		slo:   *scn.SLO,
-		pol:   *scn.Policies.Shed,
-		start: scn.Start,
-	}
-}
-
-// roll closes every window boundary the arrival crossed: a window whose
-// p99 (with enough samples) breached the target steps the shed probability
-// up; a healthy or sparse window steps it down — recovery releases the
-// brake, and an idle node decays to zero.
-func (ctl *shedCtl) roll(at simtime.Time) {
-	w := int64(at.Sub(ctl.start) / ctl.slo.Window)
-	for ctl.widx < w {
-		breached := ctl.hist.Count() >= int64(ctl.slo.SamplesFloor()) &&
-			ctl.hist.Quantile(99) > ctl.slo.P99
-		if breached {
-			if ctl.shedP += ctl.pol.Step; ctl.shedP > ctl.pol.Max {
-				ctl.shedP = ctl.pol.Max
-			}
-		} else if ctl.shedP > 0 {
-			if ctl.shedP -= ctl.pol.Step; ctl.shedP < 0 {
-				ctl.shedP = 0
-			}
-		}
-		ctl.hist.Reset()
-		ctl.widx++
-	}
-}
-
-// admit rolls the window to the arrival and draws the admission verdict.
-func (ctl *shedCtl) admit(at simtime.Time) bool {
-	ctl.roll(at)
-	if ctl.shedP > 0 && ctl.rng.Float64() < ctl.shedP {
-		return false
-	}
-	return true
-}
-
-// observe records a served latency into the arrival's window.
-func (ctl *shedCtl) observe(lat simtime.Duration) { ctl.hist.Record(lat) }
+// The per-node SLO controller that used to live here (shedCtl) grew into
+// the adaptive control plane: see controlplane.go. The shed action keeps
+// this file's original step rule, stream id and draw sequence.
 
 // resAttempt is the resilience metadata riding with one emitted attempt.
 // The zero value marks a request outside the resilience layer.

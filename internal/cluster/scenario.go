@@ -77,6 +77,9 @@ func (r ScenarioReport) Render() string {
 			fmt.Fprintf(&b, "slo: p99<=%v compliance=%.2f%%\n", r.SLOTarget, r.SLOCompliance*100)
 		}
 	}
+	if len(r.Actions) > 0 {
+		b.WriteString(renderActions("controller", r.Actions))
+	}
 	for _, p := range r.Phases {
 		fmt.Fprintf(&b, "phase %-12s [%v → %v] requests=%d\n  %s\n",
 			p.Name, p.Start, p.End, p.Requests, p.Latency)
@@ -96,6 +99,9 @@ func (r ScenarioReport) Render() string {
 		if n.Retries > 0 || n.Timeouts > 0 || n.Errors > 0 || n.Hedges > 0 || n.Shed > 0 || n.Failed > 0 || r.SLOTarget > 0 {
 			fmt.Fprintf(&b, "    resilience: retries=%d timeouts=%d errors=%d hedges=%d shed=%d failed=%d compliance=%.2f%%\n",
 				n.Retries, n.Timeouts, n.Errors, n.Hedges, n.Shed, n.Failed, n.SLOCompliance*100)
+		}
+		if len(n.Actions) > 0 {
+			b.WriteString("    " + renderActions("controller", n.Actions))
 		}
 	}
 	return b.String()
@@ -156,7 +162,7 @@ type scenarioRun struct {
 	shed     []int64          // attempts rejected by admission control
 	failed   []int64          // chains exhausted without a successful attempt
 	fates    []map[int64]bool // per node: chain id → last attempt failed
-	ctl      []*shedCtl       // per node, nil without a shed policy
+	ctl      []*controller    // per node, nil without a policies block
 }
 
 // validateScenario checks the scenario against this cluster: the scenario
@@ -176,6 +182,10 @@ func (c *Cluster) validateScenario(scn workload.Scenario) error {
 			return fmt.Errorf("cluster: scenario %q event %d (%s): the monitor daemon requires the hermes allocator (cluster runs %q)",
 				scn.Name, i, e.Kind, c.cfg.Allocator)
 		}
+	}
+	if scn.Policies != nil && scn.Policies.Allocator != nil && c.cfg.Allocator != AllocHermes {
+		return fmt.Errorf("cluster: scenario %q: the allocator policy requires the hermes allocator (cluster runs %q)",
+			scn.Name, c.cfg.Allocator)
 	}
 	return nil
 }
@@ -206,10 +216,10 @@ func (c *Cluster) newScenarioRun(scn workload.Scenario, topo *topology, res *res
 			sr.fates[i] = make(map[int64]bool)
 		}
 		sr.st.degrade = res.degrade
-		if res.shed != nil {
-			sr.ctl = make([]*shedCtl, len(c.nodes))
+		if res.pol != nil {
+			sr.ctl = make([]*controller, len(c.nodes))
 			for i := range sr.ctl {
-				sr.ctl[i] = newShedCtl(scn, i)
+				sr.ctl[i] = newController(c, scn, i)
 			}
 		}
 	}
@@ -889,6 +899,20 @@ func (c *Cluster) finishScenario(sr *scenarioRun, scn workload.Scenario, bounds 
 			if totalCount > 0 {
 				rep.SLOCompliance = 1 - float64(totalAbove)/float64(totalCount)
 			}
+		}
+		if sr.ctl != nil {
+			// The action log: per node in firing order, merged cluster-wide
+			// by instant (stable, so same-instant actions keep node order).
+			// Assembled in node index order — a pure function of the
+			// per-node controller trajectories, like everything else here.
+			for ni := range c.nodes {
+				acts := sr.ctl[ni].log
+				rep.PerNode[ni].Actions = acts
+				rep.Actions = append(rep.Actions, acts...)
+			}
+			sort.SliceStable(rep.Actions, func(i, j int) bool {
+				return rep.Actions[i].At.Before(rep.Actions[j].At)
+			})
 		}
 	}
 	if sr.topo != nil {

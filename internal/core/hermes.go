@@ -143,6 +143,19 @@ func (h *Hermes) Glibc() *glibcmalloc.Allocator { return h.g }
 // PoolPages returns the pages currently parked in the segregated pool.
 func (h *Hermes) PoolPages() int64 { return h.pool.totalPages }
 
+// ReservationFactor returns the current RSV_FACTOR.
+func (h *Hermes) ReservationFactor() float64 { return h.cfg.ReservationFactor }
+
+// SetReservationFactor retunes RSV_FACTOR mid-run; the management thread
+// reads it on its next tick, so the switch takes effect within one mgmt
+// period. Non-positive factors are ignored (the config contract). The
+// adaptive control plane's allocator-policy action drives this.
+func (h *Hermes) SetReservationFactor(f float64) {
+	if f > 0 {
+		h.cfg.ReservationFactor = f
+	}
+}
+
 // MgmtStats returns management-thread counters.
 func (h *Hermes) MgmtStats() MgmtStats { return h.mgmtStats }
 

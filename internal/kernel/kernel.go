@@ -132,6 +132,9 @@ type Kernel struct {
 	minWM  int64 // pages
 	lowWM  int64
 	highWM int64
+	// wmScale multiplies the boot-time watermark heuristic (0 reads as 1);
+	// SetWatermarkScale retunes it mid-run.
+	wmScale float64
 
 	lru lruSet
 
@@ -184,9 +187,37 @@ func (k *Kernel) setWatermarks() {
 	if minPages < 16 {
 		minPages = 16
 	}
+	if k.wmScale > 1 {
+		minPages = int64(float64(minPages) * k.wmScale)
+	}
 	k.minWM = minPages
 	k.lowWM = minPages * 5 / 4
 	k.highWM = minPages * 3 / 2
+}
+
+// SetWatermarkScale retunes the zone watermarks to scale × the boot-time
+// heuristic (clamped to >= 1) — the min_free_kbytes knob the paper's §2.2
+// discussion turns: higher watermarks wake kswapd earlier and keep a
+// larger free reserve, trading effective capacity for fewer direct-reclaim
+// stalls. When the raised low watermark is already breached, kswapd wakes
+// immediately. The adaptive control plane's watermark action drives this.
+func (k *Kernel) SetWatermarkScale(scale float64) {
+	if scale < 1 {
+		scale = 1
+	}
+	k.wmScale = scale
+	k.setWatermarks()
+	if k.freePages < k.lowWM {
+		k.wakeKswapd()
+	}
+}
+
+// WatermarkScale returns the current watermark scale (1 when never tuned).
+func (k *Kernel) WatermarkScale() float64 {
+	if k.wmScale < 1 {
+		return 1
+	}
+	return k.wmScale
 }
 
 // Scheduler returns the kernel's scheduler (shared by the whole node).

@@ -1,0 +1,75 @@
+package monitor
+
+import (
+	"testing"
+
+	"github.com/hermes-sim/hermes/internal/simtime"
+)
+
+// TestTrackerRollsWindows drives the windowed-SLO tracker through three
+// windows: a healthy one, a breached one, and a sparse one (below the
+// sample floor) — the boundary callback must see exactly one verdict per
+// closed window, at the window's closing instant.
+func TestTrackerRollsWindows(t *testing.T) {
+	var start simtime.Time
+	window := 10 * simtime.Millisecond
+	target := 100 * simtime.Microsecond
+	tr := NewTracker(start, window, target, 4)
+
+	type verdict struct {
+		at       simtime.Time
+		breached bool
+	}
+	var got []verdict
+	record := func(at simtime.Time, breached bool) {
+		got = append(got, verdict{at, breached})
+	}
+
+	// Window 0: plenty of samples, all under target.
+	for i := 0; i < 16; i++ {
+		tr.Observe(50 * simtime.Microsecond)
+	}
+	// Window 1 opens at 10ms.
+	tr.Roll(start.Add(11*simtime.Millisecond), record)
+	// Window 1: enough samples, p99 far over target.
+	for i := 0; i < 16; i++ {
+		tr.Observe(5 * simtime.Millisecond)
+	}
+	// Window 2: only 2 samples (below the floor of 4), all over target.
+	tr.Roll(start.Add(21*simtime.Millisecond), record)
+	tr.Observe(5 * simtime.Millisecond)
+	tr.Observe(5 * simtime.Millisecond)
+	// An arrival three windows later closes windows 2 and 3 in one roll.
+	tr.Roll(start.Add(41*simtime.Millisecond), record)
+
+	want := []verdict{
+		{start.Add(10 * simtime.Millisecond), false}, // healthy
+		{start.Add(20 * simtime.Millisecond), true},  // breached
+		{start.Add(30 * simtime.Millisecond), false}, // sparse: below floor
+		{start.Add(40 * simtime.Millisecond), false}, // empty
+	}
+	if len(got) != len(want) {
+		t.Fatalf("verdicts = %+v, want %+v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("verdict %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+
+	// A roll inside the open window closes nothing.
+	n := len(got)
+	tr.Roll(start.Add(45*simtime.Millisecond), record)
+	if len(got) != n {
+		t.Error("mid-window roll closed a window")
+	}
+}
+
+func TestTrackerRejectsBadWindow(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewTracker accepted a non-positive window")
+		}
+	}()
+	NewTracker(simtime.Time(0), 0, simtime.Millisecond, 1)
+}

@@ -221,3 +221,50 @@ func BenchmarkRecorderStreaming(b *testing.B) {
 		_ = r.Summarize()
 	}
 }
+
+// TestHistogramResetReuseAfterMerge pins the windowed-readout contract the
+// control plane's per-node trackers rely on: a histogram that absorbed
+// another via Merge (growing its bucket array) and was then Reset must
+// record the next window exactly like a histogram that never saw the first
+// one — same quantiles, extrema, sum and count — while keeping the grown
+// bucket array allocated.
+func TestHistogramResetReuseAfterMerge(t *testing.T) {
+	reused := NewHistogram()
+	for _, d := range zipfLatencies(10_000, 5) {
+		reused.Record(d)
+	}
+	other := NewHistogram()
+	other.Record(10 * time.Second) // force bucket growth through Merge
+	other.Record(time.Microsecond)
+	reused.Merge(other)
+	grown := reused.Buckets()
+	if grown == 0 {
+		t.Fatal("merge left no buckets to reuse")
+	}
+
+	reused.Reset()
+	if reused.Count() != 0 || reused.Sum() != 0 || reused.Min() != 0 || reused.Max() != 0 {
+		t.Fatalf("reset left residue: count=%d sum=%v min=%v max=%v",
+			reused.Count(), reused.Sum(), reused.Min(), reused.Max())
+	}
+	if reused.Buckets() != grown {
+		t.Fatalf("reset shrank the bucket array: %d buckets, had %d", reused.Buckets(), grown)
+	}
+
+	fresh := NewHistogram()
+	for _, d := range zipfLatencies(20_000, 9) {
+		reused.Record(d)
+		fresh.Record(d)
+	}
+	for _, q := range []float64{0, 50, 90, 99, 100} {
+		if r, f := reused.Quantile(q), fresh.Quantile(q); r != f {
+			t.Errorf("p%v differs after reset reuse: reused=%v fresh=%v", q, r, f)
+		}
+	}
+	if reused.Count() != fresh.Count() || reused.Sum() != fresh.Sum() ||
+		reused.Min() != fresh.Min() || reused.Max() != fresh.Max() {
+		t.Errorf("digest differs after reset reuse: reused {n=%d sum=%v min=%v max=%v}, fresh {n=%d sum=%v min=%v max=%v}",
+			reused.Count(), reused.Sum(), reused.Min(), reused.Max(),
+			fresh.Count(), fresh.Sum(), fresh.Min(), fresh.Max())
+	}
+}

@@ -511,18 +511,50 @@ func (s SLO) SamplesFloor() int {
 }
 
 // Policies is the scenario's adaptive control plane: what the cluster does
-// when the SLO is breached.
+// when the SLO is breached. Each enabled policy is one reconfiguration
+// action the per-node controller may fire at a window boundary; any
+// combination works, all are per-node and deterministic.
 type Policies struct {
 	// Shed enables per-node probabilistic load shedding.
 	Shed *ShedPolicy
+	// Batch enables adaptive batch sizing: co-tenant batch footprints are
+	// stepped down under breach and restored when healthy.
+	Batch *BatchPolicy
+	// Allocator enables dynamic allocator-policy switching: hermes
+	// allocators drop to a conservative reservation factor while breached.
+	// Requires the hermes allocator.
+	Allocator *AllocatorPolicy
+	// Watermark enables kernel memory-watermark retuning: zone watermarks
+	// scale up under breach so reclaim starts earlier.
+	Watermark *WatermarkPolicy
 }
 
 // Validate reports whether the policy block is well-formed.
 func (p Policies) Validate() error {
-	if p.Shed == nil {
-		return fmt.Errorf("policies needs at least one policy (shed)")
+	if p.Shed == nil && p.Batch == nil && p.Allocator == nil && p.Watermark == nil {
+		return fmt.Errorf("policies needs at least one policy (shed, batch, allocator or watermark)")
 	}
-	return p.Shed.Validate()
+	if p.Shed != nil {
+		if err := p.Shed.Validate(); err != nil {
+			return err
+		}
+	}
+	if p.Batch != nil {
+		if err := p.Batch.Validate(); err != nil {
+			return err
+		}
+	}
+	if p.Allocator != nil {
+		if err := p.Allocator.Validate(); err != nil {
+			return err
+		}
+	}
+	if p.Watermark != nil {
+		if err := p.Watermark.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // ShedPolicy is SLO-driven admission control: when a node's windowed p99
@@ -549,6 +581,75 @@ func (p ShedPolicy) Validate() error {
 	}
 	if p.Step > p.Max {
 		return fmt.Errorf("shed Step must be <= Max (got Step=%v Max=%v)", p.Step, p.Max)
+	}
+	return nil
+}
+
+// BatchPolicy is SLO-driven co-tenant throttling: each breached window the
+// controller shrinks the node's batch-runner footprint by Step of its
+// configured target (shrinking containers release their trailing memory on
+// the spot), and each healthy window restores it by the same step — the
+// latency-critical service reclaims memory from best-effort work instead
+// of stalling in the kernel. Fractions are dimensionless, so Scaled leaves
+// the policy untouched.
+type BatchPolicy struct {
+	// Step is the fraction of the configured batch footprint removed per
+	// breached window (and restored per healthy one), in (0, 1].
+	Step float64
+	// Min floors the throttled footprint as a fraction of the configured
+	// one, in [0, 1). Zero allows a full squeeze-out.
+	Min float64
+}
+
+// Validate reports whether the policy is well-formed.
+func (p BatchPolicy) Validate() error {
+	if p.Step <= 0 || p.Step > 1 {
+		return fmt.Errorf("batch policy Step must be in (0, 1] (got %v)", p.Step)
+	}
+	if p.Min < 0 || p.Min >= 1 {
+		return fmt.Errorf("batch policy Min must be in [0, 1) (got %v)", p.Min)
+	}
+	return nil
+}
+
+// AllocatorPolicy is SLO-driven allocator-policy switching: while a node
+// is breached its hermes allocators run at the Conservative reservation
+// factor (a smaller pinned reservation frees memory for the kernel), and a
+// healthy window restores the configured factor. Requires the hermes
+// allocator — the only one with a runtime-tunable policy.
+type AllocatorPolicy struct {
+	// Conservative is the reservation factor (RSV_FACTOR) switched to
+	// while breached; must be > 0, and is typically below the configured
+	// factor.
+	Conservative float64
+}
+
+// Validate reports whether the policy is well-formed.
+func (p AllocatorPolicy) Validate() error {
+	if p.Conservative <= 0 {
+		return fmt.Errorf("allocator policy Conservative must be > 0 (got %v)", p.Conservative)
+	}
+	return nil
+}
+
+// WatermarkPolicy is SLO-driven kernel watermark retuning: each breached
+// window scales the node's zone watermarks up by Step (kswapd wakes
+// earlier and keeps a larger free reserve, so fewer requests stall in
+// direct reclaim), and each healthy window steps the scale back toward 1.
+type WatermarkPolicy struct {
+	// Step is the watermark-scale increment per breached window, > 0.
+	Step float64
+	// Max caps the watermark scale; must be >= 1 + Step.
+	Max float64
+}
+
+// Validate reports whether the policy is well-formed.
+func (p WatermarkPolicy) Validate() error {
+	if p.Step <= 0 {
+		return fmt.Errorf("watermark policy Step must be > 0 (got %v)", p.Step)
+	}
+	if p.Max < 1+p.Step {
+		return fmt.Errorf("watermark policy Max must be >= 1+Step (got Max=%v Step=%v)", p.Max, p.Step)
 	}
 	return nil
 }
@@ -699,10 +800,24 @@ func (s Scenario) Scaled(f float64) Scenario {
 		out.SLO = &slo
 	}
 	if s.Policies != nil {
+		// Policies are dimensionless (probabilities, fractions, factors):
+		// nothing to scale, only deep-copy so the input stays untouched.
 		pol := *s.Policies
 		if pol.Shed != nil {
 			shed := *pol.Shed
 			pol.Shed = &shed
+		}
+		if pol.Batch != nil {
+			b := *pol.Batch
+			pol.Batch = &b
+		}
+		if pol.Allocator != nil {
+			a := *pol.Allocator
+			pol.Allocator = &a
+		}
+		if pol.Watermark != nil {
+			w := *pol.Watermark
+			pol.Watermark = &w
 		}
 		out.Policies = &pol
 	}

@@ -62,10 +62,27 @@ type sloJSON struct {
 }
 
 type policiesJSON struct {
-	Shed *shedJSON `json:"shed,omitempty"`
+	Shed      *shedJSON     `json:"shed,omitempty"`
+	Batch     *batchPolJSON `json:"batch,omitempty"`
+	Allocator *allocPolJSON `json:"allocator,omitempty"`
+	Watermark *wmPolJSON    `json:"watermark,omitempty"`
 }
 
 type shedJSON struct {
+	Step float64 `json:"step"`
+	Max  float64 `json:"max"`
+}
+
+type batchPolJSON struct {
+	Step float64 `json:"step"`
+	Min  float64 `json:"min,omitempty"`
+}
+
+type allocPolJSON struct {
+	Conservative float64 `json:"conservative"`
+}
+
+type wmPolJSON struct {
 	Step float64 `json:"step"`
 	Max  float64 `json:"max"`
 }
@@ -274,6 +291,15 @@ func ParseScenario(data []byte) (Scenario, error) {
 		if doc.Policies.Shed != nil {
 			pol.Shed = &ShedPolicy{Step: doc.Policies.Shed.Step, Max: doc.Policies.Shed.Max}
 		}
+		if doc.Policies.Batch != nil {
+			pol.Batch = &BatchPolicy{Step: doc.Policies.Batch.Step, Min: doc.Policies.Batch.Min}
+		}
+		if doc.Policies.Allocator != nil {
+			pol.Allocator = &AllocatorPolicy{Conservative: doc.Policies.Allocator.Conservative}
+		}
+		if doc.Policies.Watermark != nil {
+			pol.Watermark = &WatermarkPolicy{Step: doc.Policies.Watermark.Step, Max: doc.Policies.Watermark.Max}
+		}
 		s.Policies = &pol
 	}
 	if err := s.Validate(); err != nil {
@@ -390,6 +416,15 @@ func MarshalScenarioJSON(s Scenario) ([]byte, error) {
 		pol := policiesJSON{}
 		if s.Policies.Shed != nil {
 			pol.Shed = &shedJSON{Step: s.Policies.Shed.Step, Max: s.Policies.Shed.Max}
+		}
+		if s.Policies.Batch != nil {
+			pol.Batch = &batchPolJSON{Step: s.Policies.Batch.Step, Min: s.Policies.Batch.Min}
+		}
+		if s.Policies.Allocator != nil {
+			pol.Allocator = &allocPolJSON{Conservative: s.Policies.Allocator.Conservative}
+		}
+		if s.Policies.Watermark != nil {
+			pol.Watermark = &wmPolJSON{Step: s.Policies.Watermark.Step, Max: s.Policies.Watermark.Max}
 		}
 		doc.Policies = &pol
 	}

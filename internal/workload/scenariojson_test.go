@@ -192,3 +192,116 @@ func TestScenarioScaledResilienceDomains(t *testing.T) {
 		t.Error("flat bypass engaged despite an SLO")
 	}
 }
+
+// TestScenarioJSONPolicyErrors: every malformed policies block is rejected
+// with an error naming the offending field.
+func TestScenarioJSONPolicyErrors(t *testing.T) {
+	phase := `{"name": "p", "duration": "50ms", "classes": [{"name": "c", "rate": 1000, "keys": 100, "reads": 0.5, "value_bytes": 512}]}`
+	head := `{"name":"t","phases":[` + phase + `],"slo":{"p99":"200us","window":"5ms"},"policies":`
+	cases := []struct {
+		name string
+		pol  string
+		want string
+	}{
+		{"empty policies block", `{}`,
+			"needs at least one policy"},
+		{"batch step of zero", `{"batch":{"step":0}}`,
+			"batch policy Step must be in (0, 1]"},
+		{"batch step above one", `{"batch":{"step":1.5}}`,
+			"batch policy Step must be in (0, 1]"},
+		{"batch min at one", `{"batch":{"step":0.25,"min":1}}`,
+			"batch policy Min must be in [0, 1)"},
+		{"allocator factor of zero", `{"allocator":{"conservative":0}}`,
+			"allocator policy Conservative must be > 0"},
+		{"negative allocator factor", `{"allocator":{"conservative":-1}}`,
+			"allocator policy Conservative must be > 0"},
+		{"watermark step of zero", `{"watermark":{"step":0,"max":2}}`,
+			"watermark policy Step must be > 0"},
+		{"watermark cap below one step", `{"watermark":{"step":0.5,"max":1.2}}`,
+			"watermark policy Max must be >= 1+Step"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseScenario([]byte(head + tc.pol + `}`))
+			if err == nil {
+				t.Fatal("malformed policies block accepted")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestScenarioJSONPoliciesRoundTrip: a policies block declaring all four
+// control-plane actions survives marshal → parse exactly.
+func TestScenarioJSONPoliciesRoundTrip(t *testing.T) {
+	s := multiClassScenario()
+	s.SLO = &SLO{P99: 300 * simtime.Microsecond, Window: 10 * simtime.Millisecond, MinSamples: 32}
+	s.Policies = &Policies{
+		Shed:      &ShedPolicy{Step: 0.2, Max: 0.8},
+		Batch:     &BatchPolicy{Step: 0.25, Min: 0.25},
+		Allocator: &AllocatorPolicy{Conservative: 1.0},
+		Watermark: &WatermarkPolicy{Step: 0.5, Max: 3},
+	}
+	data, err := MarshalScenarioJSON(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseScenario(data)
+	if err != nil {
+		t.Fatalf("round-trip parse failed: %v\n%s", err, data)
+	}
+	p, q := s.Policies, got.Policies
+	if q == nil || q.Shed == nil || q.Batch == nil || q.Allocator == nil || q.Watermark == nil {
+		t.Fatalf("policies diverged: %+v", q)
+	}
+	if *q.Shed != *p.Shed || *q.Batch != *p.Batch || *q.Allocator != *p.Allocator || *q.Watermark != *p.Watermark {
+		t.Fatalf("policies diverged:\ngot  %+v %+v %+v %+v\nwant %+v %+v %+v %+v",
+			*q.Shed, *q.Batch, *q.Allocator, *q.Watermark,
+			*p.Shed, *p.Batch, *p.Allocator, *p.Watermark)
+	}
+	data2, err := MarshalScenarioJSON(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != string(data2) {
+		t.Fatalf("second marshal diverged:\nfirst:  %s\nsecond: %s", data, data2)
+	}
+}
+
+// TestScenarioScaledPolicies pins the control-plane domain split: the SLO
+// window and samples floor scale with the timeline, while the p99 target
+// (latency domain) and every policy field (dimensionless probabilities,
+// fractions and factors) stay untouched — and the scaled copy's policies
+// are deep copies, not aliases into the receiver.
+func TestScenarioScaledPolicies(t *testing.T) {
+	s := multiClassScenario()
+	s.SLO = &SLO{P99: 300 * simtime.Microsecond, Window: 10 * simtime.Millisecond, MinSamples: 32}
+	s.Policies = &Policies{
+		Shed:      &ShedPolicy{Step: 0.2, Max: 0.8},
+		Batch:     &BatchPolicy{Step: 0.25, Min: 0.25},
+		Allocator: &AllocatorPolicy{Conservative: 1.0},
+		Watermark: &WatermarkPolicy{Step: 0.5, Max: 3},
+	}
+	half := s.Scaled(0.5)
+	if half.SLO.Window != 5*simtime.Millisecond || half.SLO.MinSamples != 16 {
+		t.Errorf("slo window/floor did not scale: %+v", half.SLO)
+	}
+	if half.SLO.P99 != s.SLO.P99 {
+		t.Errorf("scaling changed the p99 target to %v", half.SLO.P99)
+	}
+	p, q := s.Policies, half.Policies
+	if *q.Shed != *p.Shed || *q.Batch != *p.Batch || *q.Allocator != *p.Allocator || *q.Watermark != *p.Watermark {
+		t.Errorf("scaling changed dimensionless policy fields:\ngot  %+v %+v %+v %+v",
+			*q.Shed, *q.Batch, *q.Allocator, *q.Watermark)
+	}
+	if q.Shed == p.Shed || q.Batch == p.Batch || q.Allocator == p.Allocator || q.Watermark == p.Watermark {
+		t.Error("scaled policies alias the receiver's")
+	}
+	q.Batch.Step = 0.9
+	q.Watermark.Max = 7
+	if p.Batch.Step != 0.25 || p.Watermark.Max != 3 {
+		t.Error("mutating the scaled copy reached the receiver")
+	}
+}
