@@ -392,8 +392,5 @@ func runNodeBench(cfg nodeBenchConfig) error {
 
 func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
 
-func writeJSON(f *os.File, v any) error {
-	enc := json.NewEncoder(f)
-	enc.SetIndent("", "  ")
-	return enc.Encode(v)
-}
+// writeJSON delegates to the report-serialization path every CLI shares.
+func writeJSON(f *os.File, v any) error { return hermes.WriteReportJSON(f, v) }

@@ -5,12 +5,12 @@ import (
 	"os"
 	"reflect"
 	"runtime"
-	"sort"
 	"strconv"
 	"strings"
 	"time"
 
 	hermes "github.com/hermes-sim/hermes"
+	"github.com/hermes-sim/hermes/internal/stats"
 )
 
 // -bench-scaling measures the parallel cluster engine's multi-core scaling
@@ -170,11 +170,7 @@ func runScalingBench(cfg scalingBenchConfig) error {
 					return fmt.Errorf("bench-scaling served %d requests, want %d", rep.Requests, cfg.requests)
 				}
 			}
-			sort.Float64s(walls)
-			med := walls[len(walls)/2]
-			if len(walls)%2 == 0 {
-				med = (walls[len(walls)/2-1] + walls[len(walls)/2]) / 2
-			}
+			med := stats.Median(walls)
 			pt := scalingPoint{
 				GoMaxProcs: n,
 				WallMS:     med,

@@ -6,11 +6,11 @@ import (
 	randv2 "math/rand/v2"
 	"os"
 	"runtime"
-	"sort"
 	"time"
 
 	hermes "github.com/hermes-sim/hermes"
 	"github.com/hermes-sim/hermes/internal/kernel"
+	"github.com/hermes-sim/hermes/internal/stats"
 	"github.com/hermes-sim/hermes/internal/workload/randgen"
 )
 
@@ -54,14 +54,14 @@ type workloadComparison struct {
 var sinkGuard float64
 
 // medianWall runs f reps times and returns the median wall clock — the
-// repo's bench discipline on its noisy single-core host.
+// repo's bench discipline on its noisy single-core host, delegated to the
+// stats package's shared median.
 func medianWall(f func() time.Duration, reps int) time.Duration {
 	walls := make([]time.Duration, reps)
 	for i := range walls {
 		walls[i] = f()
 	}
-	sort.Slice(walls, func(i, j int) bool { return walls[i] < walls[j] })
-	return walls[len(walls)/2]
+	return stats.MedianDuration(walls)
 }
 
 func runWorkloadBench(cfg workloadBenchConfig) error {

@@ -50,14 +50,15 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"path/filepath"
 	"reflect"
 	"runtime"
 	"runtime/pprof"
-	"sort"
 	"strings"
 	"time"
 
 	hermes "github.com/hermes-sim/hermes"
+	"github.com/hermes-sim/hermes/internal/stats"
 )
 
 func main() {
@@ -98,6 +99,8 @@ func run() error {
 	scenarioPath := flag.String("scenario", "", "run the scenario spec in this JSON file instead of the flat flag-built load")
 	scale := flag.Float64("scale", 1, "multiply the loaded scenario's durations and request budgets by this factor")
 	static := flag.Bool("static", false, "strip the scenario's policies block: the static baseline for adaptive comparisons")
+	metricsOut := flag.String("metrics-out", "", "write the scenario run's per-window time series to this file (.prom/.txt = Prometheus text exposition, else JSON-lines)")
+	metricsPeriod := flag.Duration("metrics-period", time.Second, "virtual-time window width for -metrics-out samples")
 	flag.Parse()
 
 	// Benchmarks default to a single-core pin so committed BENCH numbers are
@@ -177,14 +180,21 @@ func run() error {
 				seedSet = true
 			}
 		})
+		if *metricsOut != "" {
+			cfg.Metrics = &hermes.MetricsConfig{Period: *metricsPeriod}
+		}
 		return runScenarioFile(cfg, kinds, scenarioOpts{
-			path:    *scenarioPath,
-			scale:   *scale,
-			seed:    *seed,
-			seedSet: seedSet,
-			json:    *jsonOut,
-			static:  *static,
+			path:       *scenarioPath,
+			scale:      *scale,
+			seed:       *seed,
+			seedSet:    seedSet,
+			json:       *jsonOut,
+			static:     *static,
+			metricsOut: *metricsOut,
 		})
+	}
+	if *metricsOut != "" {
+		return fmt.Errorf("-metrics-out requires -scenario (the time series rides the scenario path)")
 	}
 
 	if *benchPath != "" {
@@ -203,7 +213,7 @@ func run() error {
 			*requests, *rate, *keys, *zipf, *reads*100, *value)
 	}
 
-	var jsonReports []jsonReport
+	var jsonReports []hermes.TimedReport
 	for _, kind := range kinds {
 		cfg.Allocator = kind
 		if err := cfg.Validate(); err != nil {
@@ -215,7 +225,7 @@ func run() error {
 		c.Close()
 		wall := time.Since(start)
 		if *jsonOut {
-			jsonReports = append(jsonReports, jsonReport{ClusterReport: rep, WallMS: ms(wall)})
+			jsonReports = append(jsonReports, hermes.TimedReport{Report: rep, WallMS: ms(wall)})
 			continue
 		}
 		fmt.Printf("=== %s (wall %v) ===\n", cfg.Allocator, wall.Round(time.Millisecond))
@@ -231,21 +241,22 @@ func run() error {
 		fmt.Println()
 	}
 	if *jsonOut {
-		return writeJSON(os.Stdout, struct {
-			Load    hermes.LoadConfig `json:"load"`
-			Reports []jsonReport      `json:"reports"`
+		return hermes.WriteReportJSON(os.Stdout, struct {
+			Load    hermes.LoadConfig    `json:"load"`
+			Reports []hermes.TimedReport `json:"reports"`
 		}{load, jsonReports})
 	}
 	return nil
 }
 
 type scenarioOpts struct {
-	path    string
-	scale   float64
-	seed    uint64
-	seedSet bool
-	json    bool
-	static  bool
+	path       string
+	scale      float64
+	seed       uint64
+	seedSet    bool
+	json       bool
+	static     bool
+	metricsOut string
 }
 
 // runScenarioFile loads, validates and runs a scenario spec for each
@@ -296,11 +307,7 @@ func runScenarioFile(cfg hermes.ClusterConfig, kinds []hermes.AllocatorKind, opt
 		fmt.Printf("phases=%d events=%d horizon=%v\n\n", len(scn.Phases), len(scn.Events), scn.End())
 	}
 
-	type jsonScenarioReport struct {
-		hermes.ScenarioReport
-		WallMS float64 `json:"WallMS"`
-	}
-	var jsonReports []jsonScenarioReport
+	var jsonReports []hermes.TimedScenarioReport
 	for _, kind := range kinds {
 		cfg.Allocator = kind
 		if err := cfg.Validate(); err != nil {
@@ -314,19 +321,51 @@ func runScenarioFile(cfg hermes.ClusterConfig, kinds []hermes.AllocatorKind, opt
 			return err
 		}
 		wall := time.Since(start)
+		if opts.metricsOut != "" {
+			if err := writeMetrics(opts.metricsOut, kind, len(kinds) > 1, rep.Metrics); err != nil {
+				return err
+			}
+		}
 		if opts.json {
-			jsonReports = append(jsonReports, jsonScenarioReport{ScenarioReport: rep, WallMS: ms(wall)})
+			jsonReports = append(jsonReports, hermes.TimedScenarioReport{ScenarioReport: rep, WallMS: ms(wall)})
 			continue
 		}
 		fmt.Printf("=== %s (wall %v) ===\n%s\n", kind, wall.Round(time.Millisecond), rep.Render())
 	}
 	if opts.json {
-		return writeJSON(os.Stdout, struct {
-			Scenario string               `json:"scenario"`
-			Scale    float64              `json:"scale"`
-			Reports  []jsonScenarioReport `json:"reports"`
+		return hermes.WriteReportJSON(os.Stdout, struct {
+			Scenario string                       `json:"scenario"`
+			Scale    float64                      `json:"scale"`
+			Reports  []hermes.TimedScenarioReport `json:"reports"`
 		}{scn.Name, opts.scale, jsonReports})
 	}
+	return nil
+}
+
+// writeMetrics writes one run's time series to the -metrics-out path: the
+// .prom/.txt extensions select Prometheus text exposition, everything else
+// JSON-lines. Multi-allocator runs suffix the allocator kind before the
+// extension so each run keeps its own stream.
+func writeMetrics(path string, kind hermes.AllocatorKind, multi bool, samples []hermes.MetricsSample) error {
+	if multi {
+		ext := filepath.Ext(path)
+		path = strings.TrimSuffix(path, ext) + "-" + string(kind) + ext
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	switch filepath.Ext(path) {
+	case ".prom", ".txt":
+		err = hermes.WriteMetricsPrometheus(f, samples)
+	default:
+		err = hermes.WriteMetricsJSONL(f, samples)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (%d windows)\n", path, len(samples))
 	return nil
 }
 
@@ -341,14 +380,6 @@ func parseAllocators(s string) ([]hermes.AllocatorKind, error) {
 		return nil, fmt.Errorf("no allocators given")
 	}
 	return kinds, nil
-}
-
-// jsonReport wraps a ClusterReport with its wall-clock cost. The wall
-// field is Go-cased to match the embedded report's untagged fields, so the
-// -json document carries one naming convention.
-type jsonReport struct {
-	hermes.ClusterReport
-	WallMS float64 `json:"WallMS"`
 }
 
 // benchRun is one timed engine measurement inside a bench entry: the
@@ -435,7 +466,7 @@ func runBench(cfg hermes.ClusterConfig, load hermes.LoadConfig, kinds []hermes.A
 			cl.Close()
 			walls[i] = ms(time.Since(start))
 		}
-		med, lo, hi := medianSpread(walls)
+		med, lo, hi := stats.MedianSpread(walls)
 		return rep, benchRun{
 			Engine:    engine,
 			Stats:     string(mode),
@@ -505,7 +536,7 @@ func runBench(cfg hermes.ClusterConfig, load hermes.LoadConfig, kinds []hermes.A
 		return err
 	}
 	defer f.Close()
-	if err := writeJSON(f, out); err != nil {
+	if err := hermes.WriteReportJSON(f, out); err != nil {
 		return err
 	}
 	fmt.Printf("wrote %s\n", opts.path)
@@ -567,22 +598,4 @@ func gateAgainst(cur benchFile, path string, gatePct float64) error {
 	return nil
 }
 
-// medianSpread returns the median, minimum and maximum of walls.
-func medianSpread(walls []float64) (med, lo, hi float64) {
-	s := append([]float64(nil), walls...)
-	sort.Float64s(s)
-	n := len(s)
-	med = s[n/2]
-	if n%2 == 0 {
-		med = (s[n/2-1] + s[n/2]) / 2
-	}
-	return med, s[0], s[n-1]
-}
-
 func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
-
-func writeJSON(f *os.File, v any) error {
-	enc := json.NewEncoder(f)
-	enc.SetIndent("", "  ")
-	return enc.Encode(v)
-}

@@ -114,23 +114,7 @@ func runAdaptive(path string, scale float64) error {
 	}
 
 	fmt.Printf("scenario %q: %d controller decisions\n\n", scn.Name, len(rep.Actions))
-	fmt.Printf("%-14s %-6s %-10s %s\n", "t", "node", "action", "change")
-	for _, a := range rep.Actions {
-		var change string
-		switch a.Kind {
-		case hermes.ActionShed:
-			change = fmt.Sprintf("shed probability %.2f -> %.2f", a.Old, a.New)
-		case hermes.ActionBatch:
-			change = fmt.Sprintf("batch target %.0fMB -> %.0fMB", a.Old/(1<<20), a.New/(1<<20))
-		case hermes.ActionAllocator:
-			change = fmt.Sprintf("RSV_FACTOR %.2f -> %.2f", a.Old, a.New)
-		case hermes.ActionWatermark:
-			change = fmt.Sprintf("watermark scale %.2f -> %.2f", a.Old, a.New)
-		default:
-			change = fmt.Sprintf("%v -> %v", a.Old, a.New)
-		}
-		fmt.Printf("%-14v %-6d %-10s %s\n", time.Duration(a.At), a.Node, a.Kind, change)
-	}
+	fmt.Print(hermes.RenderActionTimeline(rep.Actions))
 	fmt.Printf("\nslo: compliance=%.2f%%\n", rep.SLOCompliance*100)
 	return nil
 }

@@ -33,6 +33,8 @@
 package hermes
 
 import (
+	"io"
+
 	"github.com/hermes-sim/hermes/internal/alloc"
 	"github.com/hermes-sim/hermes/internal/alloc/glibcmalloc"
 	"github.com/hermes-sim/hermes/internal/alloc/jemalloc"
@@ -41,6 +43,7 @@ import (
 	"github.com/hermes-sim/hermes/internal/cluster"
 	"github.com/hermes-sim/hermes/internal/core"
 	"github.com/hermes-sim/hermes/internal/kernel"
+	"github.com/hermes-sim/hermes/internal/metrics"
 	"github.com/hermes-sim/hermes/internal/monitor"
 	"github.com/hermes-sim/hermes/internal/services"
 	"github.com/hermes-sim/hermes/internal/simtime"
@@ -196,6 +199,17 @@ type (
 	// ScenarioSpec is a loaded scenario file: the scenario plus optional
 	// cluster-shape hints.
 	ScenarioSpec = cluster.ScenarioSpec
+
+	// MetricsConfig enables per-virtual-window time-series collection on a
+	// cluster run (set ClusterConfig.Metrics); MetricsSample is one
+	// cluster-wide window of the resulting series.
+	MetricsConfig = metrics.Config
+	MetricsSample = metrics.Sample
+
+	// TimedReport and TimedScenarioReport wrap the run reports with their
+	// wall-clock cost — the JSON shapes every CLI emits.
+	TimedReport         = cluster.TimedReport
+	TimedScenarioReport = cluster.TimedScenarioReport
 )
 
 // Allocator and service kinds for ClusterConfig.
@@ -436,3 +450,35 @@ func MarshalScenarioJSON(s Scenario) ([]byte, error) { return workload.MarshalSc
 // document, or one wrapped with optional cluster-shape hints under a
 // "cluster" key.
 func ParseScenarioSpec(data []byte) (ScenarioSpec, error) { return cluster.ParseScenarioSpec(data) }
+
+// DefaultMetricsConfig samples the time series once per virtual second.
+func DefaultMetricsConfig() MetricsConfig { return metrics.DefaultConfig() }
+
+// WriteMetricsJSONL writes a metrics series as JSON-lines (one sample
+// object per line); ParseMetricsJSONL reads the stream back.
+func WriteMetricsJSONL(w io.Writer, samples []MetricsSample) error {
+	return metrics.WriteJSONL(w, samples)
+}
+
+// ParseMetricsJSONL reads a JSON-lines metrics stream.
+func ParseMetricsJSONL(r io.Reader) ([]MetricsSample, error) { return metrics.ParseJSONL(r) }
+
+// WriteMetricsPrometheus writes a metrics series in Prometheus text
+// exposition format, timestamped on the virtual timeline.
+func WriteMetricsPrometheus(w io.Writer, samples []MetricsSample) error {
+	return metrics.WritePrometheus(w, samples)
+}
+
+// ParseMetricsPrometheus validates a Prometheus text-exposition stream and
+// returns the number of sample lines — the CI format gate.
+func ParseMetricsPrometheus(r io.Reader) (int, error) { return metrics.ParsePrometheus(r) }
+
+// WriteReportJSON writes v as two-space-indented JSON — the single report
+// serialization path the CLIs share.
+func WriteReportJSON(w io.Writer, v any) error { return cluster.WriteReportJSON(w, v) }
+
+// RenderActionTimeline renders a merged controller decision log as a
+// virtual-time-ordered table.
+func RenderActionTimeline(acts []ControllerAction) string {
+	return cluster.RenderActionTimeline(acts)
+}

@@ -1,0 +1,283 @@
+package campaign
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/hermes-sim/hermes/internal/cluster"
+	"github.com/hermes-sim/hermes/internal/stats"
+)
+
+// Options controls campaign execution.
+type Options struct {
+	// Workers is the worker-pool width (0 = GOMAXPROCS). Worker count
+	// affects wall clock only: the report is identical at any width.
+	Workers int
+	// Progress, when set, receives one call per finished cell (completion
+	// order, not grid order).
+	Progress func(done, total int, cell Cell)
+}
+
+// CellResult is one executed grid point.
+type CellResult struct {
+	ID     string `json:"id"`
+	Group  string `json:"group"`
+	Params Params `json:"params"`
+	Seed   uint64 `json:"seed"`
+	// WallMS is host wall clock — diagnostic only, excluded from the
+	// determinism contract (every other field is covered by it).
+	WallMS float64                `json:"wall_ms"`
+	Report cluster.ScenarioReport `json:"report"`
+	Error  string                 `json:"error,omitempty"`
+}
+
+// Estimate is a median with its bootstrap 95% confidence interval across
+// a group's seed replicas.
+type Estimate struct {
+	Median float64 `json:"median"`
+	Lo     float64 `json:"lo"`
+	Hi     float64 `json:"hi"`
+}
+
+// GroupResult aggregates one parameter combination across its seeds.
+type GroupResult struct {
+	ID     string   `json:"id"`
+	Params Params   `json:"params"`
+	Seeds  []uint64 `json:"seeds"`
+	// Latency estimates are in nanoseconds of virtual time.
+	P50  Estimate `json:"p50_ns"`
+	P99  Estimate `json:"p99_ns"`
+	Mean Estimate `json:"mean_ns"`
+	// Compliance is the SLO-compliance fraction (0 when no SLO declared).
+	Compliance Estimate `json:"compliance"`
+	// Shed is the shed-request count.
+	Shed Estimate `json:"shed"`
+}
+
+// Report is the campaign's machine-readable output: every cell's full
+// scenario report plus the per-group aggregates. It contains no
+// wall-clock-derived decision and no worker count: two runs of the same
+// campaign differ only in the diagnostic WallMS fields.
+type Report struct {
+	Name   string        `json:"name"`
+	Scale  float64       `json:"scale"`
+	Axes   Axes          `json:"axes"`
+	Cells  []CellResult  `json:"cells"`
+	Groups []GroupResult `json:"groups"`
+}
+
+// bootstrapResamples and the CI level are fixed so reports are comparable
+// across runs and machines.
+const (
+	bootstrapResamples = 1000
+	ciLevel            = 0.95
+)
+
+// Run expands the grid and executes every cell on a worker pool. The
+// results slice is indexed by cell, so completion order never leaks into
+// the report. The first cell error is returned alongside the (complete)
+// report; healthy cells still aggregate.
+func (c *Campaign) Run(opts Options) (*Report, error) {
+	cells := c.Cells()
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+
+	results := make([]CellResult, len(cells))
+	jobs := make(chan int)
+	var done sync.WaitGroup
+	var mu sync.Mutex // guards progress counting only
+	finished := 0
+	for w := 0; w < workers; w++ {
+		done.Add(1)
+		go func() {
+			defer done.Done()
+			for i := range jobs {
+				results[i] = c.runCell(cells[i])
+				if opts.Progress != nil {
+					mu.Lock()
+					finished++
+					opts.Progress(finished, len(cells), cells[i])
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := range cells {
+		jobs <- i
+	}
+	close(jobs)
+	done.Wait()
+
+	rep := &Report{Name: c.Spec.Name, Scale: c.Scale, Axes: c.Spec.Axes, Cells: results}
+	rep.Groups = aggregate(results)
+	var firstErr error
+	for i := range results {
+		if results[i].Error != "" {
+			firstErr = fmt.Errorf("cell %s: %s", results[i].ID, results[i].Error)
+			break
+		}
+	}
+	return rep, firstErr
+}
+
+// runCell builds and executes one cell on a fresh cluster.
+func (c *Campaign) runCell(cell Cell) CellResult {
+	res := CellResult{ID: cell.ID, Group: cell.Group, Params: cell.Params, Seed: cell.Seed}
+	cfg, scn, err := c.BuildCell(cell)
+	if err != nil {
+		res.Error = err.Error()
+		return res
+	}
+	cl := cluster.New(cfg)
+	defer cl.Close()
+	start := time.Now()
+	rep, err := cl.RunScenario(scn)
+	res.WallMS = float64(time.Since(start).Nanoseconds()) / 1e6
+	if err != nil {
+		res.Error = err.Error()
+		return res
+	}
+	res.Report = rep
+	return res
+}
+
+// aggregate folds cells into groups in first-seen (grid) order and
+// computes the median + bootstrap CI of each headline metric across the
+// group's seed replicas. The bootstrap seed derives from the group index,
+// so aggregation is deterministic.
+func aggregate(cells []CellResult) []GroupResult {
+	type acc struct {
+		params                           Params
+		seeds                            []uint64
+		p50, p99, mean, compliance, shed []float64
+	}
+	var order []string
+	byID := make(map[string]*acc)
+	for i := range cells {
+		cr := &cells[i]
+		if cr.Error != "" {
+			continue
+		}
+		a := byID[cr.Group]
+		if a == nil {
+			a = &acc{params: cr.Params}
+			byID[cr.Group] = a
+			order = append(order, cr.Group)
+		}
+		a.seeds = append(a.seeds, cr.Seed)
+		a.p50 = append(a.p50, float64(cr.Report.Cluster.P50))
+		a.p99 = append(a.p99, float64(cr.Report.Cluster.P99))
+		a.mean = append(a.mean, float64(cr.Report.Cluster.Mean))
+		a.compliance = append(a.compliance, cr.Report.SLOCompliance)
+		a.shed = append(a.shed, float64(cr.Report.Shed))
+	}
+	groups := make([]GroupResult, 0, len(order))
+	for gi, id := range order {
+		a := byID[id]
+		seed := uint64(gi)*0x9e3779b97f4a7c15 + 1
+		est := func(xs []float64) Estimate {
+			lo, hi := stats.BootstrapCI(xs, ciLevel, bootstrapResamples, seed)
+			return Estimate{Median: stats.Median(xs), Lo: lo, Hi: hi}
+		}
+		groups = append(groups, GroupResult{
+			ID: id, Params: a.params, Seeds: a.seeds,
+			P50: est(a.p50), P99: est(a.p99), Mean: est(a.mean),
+			Compliance: est(a.compliance), Shed: est(a.shed),
+		})
+	}
+	return groups
+}
+
+// Render prints the per-group comparison table: one row per parameter
+// combination, medians with bootstrap CIs across seeds.
+func (r *Report) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "campaign %q: %d cells, %d groups (scale %g)\n",
+		r.Name, len(r.Cells), len(r.Groups), r.Scale)
+	wid := len("group")
+	for _, g := range r.Groups {
+		if len(g.ID) > wid {
+			wid = len(g.ID)
+		}
+	}
+	fmt.Fprintf(&b, "%-*s  %5s  %22s  %22s  %14s  %10s\n",
+		wid, "group", "seeds", "p50", "p99", "compliance", "shed")
+	for _, g := range r.Groups {
+		fmt.Fprintf(&b, "%-*s  %5d  %22s  %22s  %14s  %10s\n",
+			wid, g.ID, len(g.Seeds),
+			fmtDurEst(g.P50), fmtDurEst(g.P99), fmtPctEst(g.Compliance), fmtCountEst(g.Shed))
+	}
+	failed := 0
+	for i := range r.Cells {
+		if r.Cells[i].Error != "" {
+			failed++
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(&b, "%d cell(s) failed:\n", failed)
+		for i := range r.Cells {
+			if r.Cells[i].Error != "" {
+				fmt.Fprintf(&b, "  %s: %s\n", r.Cells[i].ID, r.Cells[i].Error)
+			}
+		}
+	}
+	return b.String()
+}
+
+func fmtDurEst(e Estimate) string {
+	return fmt.Sprintf("%s [%s–%s]", fmtDurNS(e.Median), fmtDurNS(e.Lo), fmtDurNS(e.Hi))
+}
+
+func fmtDurNS(ns float64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.2fs", ns/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.2fms", ns/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.1fµs", ns/1e3)
+	default:
+		return fmt.Sprintf("%.0fns", ns)
+	}
+}
+
+func fmtPctEst(e Estimate) string {
+	return fmt.Sprintf("%.2f%% [%.2f–%.2f]", e.Median*100, e.Lo*100, e.Hi*100)
+}
+
+func fmtCountEst(e Estimate) string {
+	if e.Lo == e.Hi && e.Lo == e.Median {
+		return fmt.Sprintf("%.0f", e.Median)
+	}
+	return fmt.Sprintf("%.0f [%.0f–%.0f]", e.Median, e.Lo, e.Hi)
+}
+
+// sortedGroupIDs returns the report's group IDs in lexical order — used by
+// Diff so the diff output is stable regardless of grid order differences.
+func (r *Report) sortedGroupIDs() []string {
+	ids := make([]string, len(r.Groups))
+	for i, g := range r.Groups {
+		ids[i] = g.ID
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// group returns the group with the given ID, or nil.
+func (r *Report) group(id string) *GroupResult {
+	for i := range r.Groups {
+		if r.Groups[i].ID == id {
+			return &r.Groups[i]
+		}
+	}
+	return nil
+}

@@ -12,6 +12,7 @@ import (
 	"github.com/hermes-sim/hermes/internal/batch"
 	"github.com/hermes-sim/hermes/internal/core"
 	"github.com/hermes-sim/hermes/internal/kernel"
+	"github.com/hermes-sim/hermes/internal/metrics"
 	"github.com/hermes-sim/hermes/internal/monitor"
 	"github.com/hermes-sim/hermes/internal/services"
 	"github.com/hermes-sim/hermes/internal/simtime"
@@ -105,6 +106,13 @@ type Config struct {
 	Sequential bool
 	// Stats selects the latency-digest backend; empty means StatsRaw.
 	Stats StatsMode
+	// Metrics, when non-nil, collects a per-virtual-window time series
+	// (latency quantiles, reclaim/swap activity, RSS, resilience counters,
+	// controller actions) during scenario runs; the series lands in
+	// ScenarioReport.Metrics. Collection rides the scenario path only —
+	// Cluster.Run is covered via its lifted single-phase scenario, but the
+	// direct RunSequential/RunParallel escape hatches do not collect.
+	Metrics *metrics.Config
 }
 
 // DefaultConfig returns an 8-node, 16-shard Redis-on-Glibc cluster of 8 GB
@@ -150,6 +158,11 @@ func (c Config) Validate() error {
 	case StatsRaw, StatsHistogram:
 	default:
 		return fmt.Errorf("cluster: unknown stats mode %q", c.Stats)
+	}
+	if c.Metrics != nil {
+		if err := c.Metrics.Validate(); err != nil {
+			return fmt.Errorf("cluster: Metrics: %w", err)
+		}
 	}
 	if c.Pressure != nil {
 		if err := c.Pressure.Validate(); err != nil {

@@ -1,0 +1,64 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// This file is the single report-serialization path every CLI shares: the
+// timed JSON wrappers, the indented-JSON writer, and the controller-action
+// timeline renderer. Before it existed each command carried its own copy of
+// all three, and the copies had started to drift.
+
+// TimedReport wraps a flat-load ClusterReport with its wall-clock cost.
+// WallMS is Go-cased to match the embedded report's untagged fields, so the
+// JSON document carries one naming convention.
+type TimedReport struct {
+	Report
+	WallMS float64 `json:"WallMS"`
+}
+
+// TimedScenarioReport wraps a ScenarioReport with its wall-clock cost.
+type TimedScenarioReport struct {
+	ScenarioReport
+	WallMS float64 `json:"WallMS"`
+}
+
+// WriteReportJSON writes v as two-space-indented JSON — the one encoder
+// every machine-readable artifact (reports, bench files, campaign output)
+// goes through.
+func WriteReportJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+// Describe renders the action's change in the units of its kind — the one
+// human-readable form of a ControllerAction, shared by every timeline.
+func (a ControllerAction) Describe() string {
+	switch a.Kind {
+	case ActionShed:
+		return fmt.Sprintf("shed probability %.2f -> %.2f", a.Old, a.New)
+	case ActionBatch:
+		return fmt.Sprintf("batch target %.0fMB -> %.0fMB", a.Old/(1<<20), a.New/(1<<20))
+	case ActionAllocator:
+		return fmt.Sprintf("RSV_FACTOR %.2f -> %.2f", a.Old, a.New)
+	case ActionWatermark:
+		return fmt.Sprintf("watermark scale %.2f -> %.2f", a.Old, a.New)
+	default:
+		return fmt.Sprintf("%v -> %v", a.Old, a.New)
+	}
+}
+
+// RenderActionTimeline renders the merged controller decision log as a
+// virtual-time-ordered table.
+func RenderActionTimeline(acts []ControllerAction) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %-6s %-10s %s\n", "t", "node", "action", "change")
+	for _, a := range acts {
+		fmt.Fprintf(&b, "%-14v %-6d %-10s %s\n", a.At, a.Node, a.Kind, a.Describe())
+	}
+	return b.String()
+}

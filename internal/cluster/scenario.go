@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"github.com/hermes-sim/hermes/internal/batch"
+	"github.com/hermes-sim/hermes/internal/metrics"
 	"github.com/hermes-sim/hermes/internal/monitor"
 	"github.com/hermes-sim/hermes/internal/simtime"
 	"github.com/hermes-sim/hermes/internal/stats"
@@ -58,6 +59,9 @@ type ScenarioReport struct {
 	Report
 	// Phases are the per-phase digests, in declaration order.
 	Phases []PhaseReport
+	// Metrics is the per-window time series, present only when the cluster
+	// was configured with Config.Metrics.
+	Metrics []metrics.Sample `json:",omitempty"`
 }
 
 // Render prints the scenario report in the repo's table style.
@@ -163,6 +167,10 @@ type scenarioRun struct {
 	failed   []int64          // chains exhausted without a successful attempt
 	fates    []map[int64]bool // per node: chain id → last attempt failed
 	ctl      []*controller    // per node, nil without a policies block
+	// met is the time-series collector, nil without Config.Metrics. Its
+	// per-node windows roll at arrivals under the same node-local ownership
+	// rule as everything above.
+	met *metrics.Collector
 }
 
 // validateScenario checks the scenario against this cluster: the scenario
@@ -222,6 +230,28 @@ func (c *Cluster) newScenarioRun(scn workload.Scenario, topo *topology, res *res
 				sr.ctl[i] = newController(c, scn, i)
 			}
 		}
+	}
+	if c.cfg.Metrics != nil {
+		// The snapshot closure reads only machinery owned by the node whose
+		// window is closing: its kernel's counters and its resilience slots.
+		sr.met = metrics.NewCollector(scn.Start, c.cfg.Metrics.Period, len(c.nodes),
+			func(node int) metrics.Counters {
+				n := c.nodes[node]
+				ks := n.kernel.Stats()
+				cnt := metrics.Counters{
+					Reclaims: ks.DirectReclaims,
+					Swapouts: ks.PagesSwapOut,
+					RSSBytes: n.kernel.TotalPages()*n.kernel.PageSize() - n.kernel.FreeBytes(),
+				}
+				if res != nil {
+					cnt.Shed = sr.shed[node]
+					cnt.Retries = sr.retries[node]
+					cnt.Errors = sr.errors[node]
+					cnt.Timeouts = sr.timeouts[node]
+					cnt.Hedges = sr.hedges[node]
+				}
+				return cnt
+			})
 	}
 	if len(scn.Phases) > 1 || len(scn.Phases[0].Classes) > 1 {
 		for _, p := range scn.Phases {
@@ -397,6 +427,11 @@ func (c *Cluster) serveScenario(sr *scenarioRun, shardID int, inst, pcIdx int32,
 	in := c.shards[shardID].instances[inst]
 	n := in.node
 	c.fireEventsUpTo(sr, n, req.At)
+	if sr.met != nil {
+		// Roll the node's metrics windows at the arrival, before any verdict:
+		// shed and errored attempts advance windows exactly like served ones.
+		sr.met.Tick(n.Index, req.At)
+	}
 	// A request is inside the resilience layer when it belongs to a chain
 	// (id != 0) or carries a verdict flag (a fault-window error on a
 	// policy-less class).
@@ -462,6 +497,9 @@ func (c *Cluster) serveScenario(sr *scenarioRun, shardID int, inst, pcIdx int32,
 	lat := c.serveOn(sr.st, shardID, int(inst), req)
 	if sr.ctl != nil {
 		sr.ctl[n.Index].observe(lat)
+	}
+	if sr.met != nil {
+		sr.met.Observe(n.Index, lat)
 	}
 	if resilient && !meta.is(attHedge) {
 		timedOut := false
@@ -930,6 +968,17 @@ func (c *Cluster) finishScenario(sr *scenarioRun, scn workload.Scenario, bounds 
 			rep.Dropped += nr.Dropped
 			rep.MigratedBytes += nr.MigratedBytes
 		}
+	}
+	if sr.met != nil {
+		// Every node settled on the common horizon in c.finish, so the
+		// series' trailing window is the same span for every node. Actions
+		// are attributed to windows from the merged log assembled above.
+		sr.met.Finish(c.nodes[0].sched.Now())
+		times := make([]simtime.Time, len(rep.Actions))
+		for i, a := range rep.Actions {
+			times[i] = a.At
+		}
+		rep.Metrics = sr.met.Series(times)
 	}
 	if sr.pc == nil {
 		// Single-cell scenario: the lone phase × class cell is the whole

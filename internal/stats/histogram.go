@@ -181,6 +181,17 @@ func (h *Histogram) Reset() {
 	h.max = 0
 }
 
+// Clone returns an independent copy of the histogram — the snapshot
+// primitive of windowed collectors that must keep each closed window's
+// digest mergeable after the live histogram resets for the next window.
+func (h *Histogram) Clone() *Histogram {
+	c := &Histogram{count: h.count, sum: h.sum, min: h.min, max: h.max}
+	if len(h.counts) > 0 {
+		c.counts = append([]int64(nil), h.counts...)
+	}
+	return c
+}
+
 // Merge adds o's samples into h in O(buckets).
 func (h *Histogram) Merge(o *Histogram) {
 	if o == nil || o.count == 0 {
